@@ -1,0 +1,50 @@
+"""Figure 10 — overall effectiveness.
+
+Cumulative data-market transactions over a session of query instances, for
+the four systems of the paper: PayLess, PayLess w/o SQR, Minimizing Calls,
+and Download All; on the real (weather) workload, TPC-H, and TPC-H skew.
+
+Paper shapes to validate (absolute numbers differ — synthetic, scaled data):
+
+* real data: PayLess ≪ Minimizing Calls ≪ Download All, with PayLess w/o
+  SQR in between;
+* TPC-H (both): Minimizing Calls and PayLess w/o SQR end up *above*
+  Download All (scan-heavy queries re-buy overlapping data); full PayLess
+  stays below Download All until the whole dataset is cached, then
+  flattens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FIG10_SYSTEMS, figure10
+from repro.bench.reporting import series_table
+
+LABELS = {
+    "payless": "PayLess",
+    "payless_nosqr": "PayLess w/o SQR",
+    "min_calls": "Minimizing Calls",
+    "download_all": "Download All",
+}
+
+
+@pytest.mark.parametrize("workload", ["real", "tpch", "tpch_skew"])
+def test_fig10(benchmark, profile, report, workload):
+    sessions = benchmark.pedantic(
+        figure10, args=(workload, profile), rounds=1, iterations=1
+    )
+    series = {
+        LABELS[system]: sessions[system].cumulative_transactions
+        for system in FIG10_SYSTEMS
+    }
+    report(
+        f"fig10_{workload}",
+        series_table(
+            f"Figure 10 ({workload}): cumulative transactions",
+            series,
+        ),
+    )
+    payless = sessions["payless"].total_transactions
+    assert payless <= sessions["payless_nosqr"].total_transactions
+    assert payless <= sessions["min_calls"].total_transactions

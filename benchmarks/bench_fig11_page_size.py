@@ -1,0 +1,56 @@
+"""Figure 11 — varying the number of tuples per transaction (t).
+
+PayLess vs the Download-All bound at t ∈ {50, 100, 500}.  Smaller t means
+more transactions for the same tuples, lifting every curve; the *ordering*
+must not change: PayLess stays below Download All on the real workload for
+every t, and on TPC-H it stays below until the whole dataset is cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.figures import figure11
+from repro.bench.reporting import summary_table
+from repro.workloads.weather import WeatherConfig
+
+T_VALUES = (50, 100, 500)
+
+
+@pytest.mark.parametrize("workload", ["real", "tpch", "tpch_skew"])
+def test_fig11(benchmark, profile, report, workload):
+    if workload == "real":
+        # t=500 only separates the systems when the dataset is much larger
+        # than t x (calls per session) — the paper's Weather table has
+        # 19.5M rows.  Scale the generator up for this figure.
+        profile = replace(
+            profile,
+            weather=WeatherConfig(stations_per_country=60, days=240),
+        )
+    results = benchmark.pedantic(
+        figure11, args=(workload, T_VALUES, profile), rounds=1, iterations=1
+    )
+    rows = []
+    for t in T_VALUES:
+        payless = results[f"payless_t{t}"]
+        bound = results[f"download_all_t{t}"]
+        rows.append(
+            [t, payless.total_transactions, bound,
+             round(bound / max(payless.total_transactions, 1), 2)]
+        )
+    report(
+        f"fig11_{workload}",
+        summary_table(
+            f"Figure 11 ({workload}): total transactions vs page size t",
+            rows,
+            ["t", "PayLess", "Download All", "ratio"],
+        ),
+    )
+    if workload == "real":
+        for t in T_VALUES:
+            assert (
+                results[f"payless_t{t}"].total_transactions
+                < results[f"download_all_t{t}"]
+            )

@@ -1,0 +1,48 @@
+"""Figure 12 — varying q, the number of query instances per template.
+
+PayLess vs the Download-All bound as the session grows.  The paper's point:
+the ordering is insensitive to q; on real data PayLess stays under the
+bound for every q, on TPC-H its cumulative curve crosses the bound only
+around the point where the entire dataset has been bought.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure12
+from repro.bench.reporting import summary_table
+
+#: Scaled-down analogues of the paper's {100, 200, 300} / {5, 10, 20}.
+Q_VALUES = {"real": (5, 10, 15), "tpch": (1, 2, 3), "tpch_skew": (1, 2, 3)}
+
+
+@pytest.mark.parametrize("workload", ["real", "tpch", "tpch_skew"])
+def test_fig12(benchmark, profile, report, workload):
+    q_values = Q_VALUES[workload]
+    results = benchmark.pedantic(
+        figure12, args=(workload, q_values, profile), rounds=1, iterations=1
+    )
+    bound = results["download_all"]
+    rows = []
+    for q in q_values:
+        session = results[f"payless_q{q}"]
+        rows.append(
+            [
+                q,
+                len(session.cumulative_transactions),
+                session.total_transactions,
+                bound,
+            ]
+        )
+    report(
+        f"fig12_{workload}",
+        summary_table(
+            f"Figure 12 ({workload}): total transactions vs q",
+            rows,
+            ["q", "queries", "PayLess", "Download All bound"],
+        ),
+    )
+    if workload == "real":
+        for q in q_values:
+            assert results[f"payless_q{q}"].total_transactions < bound

@@ -1,0 +1,41 @@
+"""Figure 13 — varying the data size D (TPC-H and TPC-H skew).
+
+The paper scales the dataset {0.5 GB, 1 GB, 2 GB}; here the TPC-H generator
+scale doubles/halves around the profile's base.  Both PayLess and the
+Download-All bound grow with D; PayLess must stay below the bound until the
+whole dataset has been fetched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure13
+from repro.bench.reporting import summary_table
+
+SCALES = (0.5, 1.0, 2.0)
+
+
+@pytest.mark.parametrize("workload", ["tpch", "tpch_skew"])
+def test_fig13(benchmark, profile, report, workload):
+    results = benchmark.pedantic(
+        figure13, args=(workload, SCALES, profile), rounds=1, iterations=1
+    )
+    rows = []
+    for scale in SCALES:
+        session = results[f"payless_D{scale:g}"]
+        bound = results[f"download_all_D{scale:g}"]
+        rows.append([scale, session.total_transactions, bound])
+    report(
+        f"fig13_{workload}",
+        summary_table(
+            f"Figure 13 ({workload}): total transactions vs data size D",
+            rows,
+            ["D (scale)", "PayLess", "Download All bound"],
+        ),
+    )
+    # Both series must grow with the data size.
+    payless_series = [results[f"payless_D{s:g}"].total_transactions for s in SCALES]
+    bounds = [results[f"download_all_D{s:g}"] for s in SCALES]
+    assert bounds == sorted(bounds)
+    assert payless_series[0] <= payless_series[-1]

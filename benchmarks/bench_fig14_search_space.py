@@ -1,0 +1,46 @@
+"""Figure 14 — effectiveness of the search-space reduction techniques.
+
+Average number of candidate (sub)plans the optimizer evaluates per query:
+
+* **PayLess** — SQR + Theorems 1-3 (left-deep, zero-price-first, partition);
+* **Disable SQR** — Theorems only (no coverage ⇒ fewer zero-price
+  relations ⇒ a somewhat larger space);
+* **Disable All** — exhaustive bushy enumeration.
+
+Expected shape: Disable All ≫ Disable SQR ≥ PayLess, and the PayLess
+average *decreases* as q grows (more stored results make more relations
+zero-price, triggering Theorem 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure14
+from repro.bench.reporting import summary_table
+
+Q_VALUES = {"real": (2, 5, 8), "tpch": (1, 2, 3), "tpch_skew": (1, 2, 3)}
+
+
+@pytest.mark.parametrize("workload", ["real", "tpch", "tpch_skew"])
+def test_fig14(benchmark, profile, report, workload):
+    q_values = Q_VALUES[workload]
+    results = benchmark.pedantic(
+        figure14, args=(workload, q_values, profile), rounds=1, iterations=1
+    )
+    rows = [
+        [q]
+        + [round(results[arm][q], 1) for arm in ("PayLess", "Disable SQR", "Disable All")]
+        for q in q_values
+    ]
+    report(
+        f"fig14_{workload}",
+        summary_table(
+            f"Figure 14 ({workload}): avg evaluated (sub)plans per query",
+            rows,
+            ["q", "PayLess", "Disable SQR", "Disable All"],
+        ),
+    )
+    for q in q_values:
+        assert results["Disable All"][q] >= results["Disable SQR"][q]
+        assert results["Disable SQR"][q] >= results["PayLess"][q] - 1e-9

@@ -1,0 +1,42 @@
+"""Figure 15 — effectiveness of Algorithm 1's bounding-box pruning rules.
+
+Average number of candidate bounding boxes per query: the raw enumeration
+("No Pruning") vs the boxes surviving the minimality and price rules
+("PayLess").  The paper reports roughly an order of magnitude reduction;
+a single instrumented PayLess run yields both series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure15
+from repro.bench.reporting import summary_table
+
+Q_VALUES = {"real": (3, 6, 9), "tpch": (1, 2, 3), "tpch_skew": (1, 2, 3)}
+
+
+@pytest.mark.parametrize("workload", ["real", "tpch", "tpch_skew"])
+def test_fig15(benchmark, profile, report, workload):
+    q_values = Q_VALUES[workload]
+    results = benchmark.pedantic(
+        figure15, args=(workload, q_values, profile), rounds=1, iterations=1
+    )
+    rows = []
+    for q in q_values:
+        kept = results["PayLess"][q]
+        raw = results["No Pruning"][q]
+        rows.append(
+            [q, round(kept, 1), round(raw, 1),
+             round(raw / kept, 1) if kept else float("inf")]
+        )
+    report(
+        f"fig15_{workload}",
+        summary_table(
+            f"Figure 15 ({workload}): avg bounding boxes per query",
+            rows,
+            ["q", "PayLess (pruned)", "No Pruning", "reduction x"],
+        ),
+    )
+    for q in q_values:
+        assert results["PayLess"][q] <= results["No Pruning"][q]

@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+The figure benches default to laptop-in-minutes scale; set ``REPRO_BENCH_Q``
+(instances per template) and ``REPRO_BENCH_TPCH_SCALE`` to push toward the
+paper's scale.  Every bench writes its series/table to
+``benchmarks/results/<name>.txt`` and echoes it to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import BenchProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    weather_q = int(os.environ.get("REPRO_BENCH_Q", "10"))
+    tpch_q = int(os.environ.get("REPRO_BENCH_TPCH_Q", "2"))
+    tpch_scale = float(os.environ.get("REPRO_BENCH_TPCH_SCALE", "1.0"))
+    return BenchProfile(
+        weather_q=weather_q, tpch_q=tpch_q, tpch_scale=tpch_scale
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write a named report file and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write

@@ -1,0 +1,90 @@
+"""An organization in production: many users, budgets, and the invoice.
+
+Puts the deployment-facing features together on the weather market:
+
+* an :class:`Organization` shares one PayLess install between analysts, so
+  one user's purchases make a colleague's overlapping queries free;
+* deferred queries flush as a containment-ordered batch;
+* a :class:`BudgetedPayLess` wrapper rejects a query whose estimate would
+  blow the monthly cap *before* any money moves;
+* the :class:`Subscription` plan converts raw transactions into the
+  marketplace invoice (the paper's "$12 per 100 transactions" example).
+
+Run with:  python examples/organization_budget.py
+"""
+
+from repro.bench.figures import make_workload
+from repro.bench.harness import build_system
+from repro.core.budget import (
+    BudgetedPayLess,
+    BudgetExceededError,
+    BudgetPolicy,
+)
+from repro.core.organization import Organization
+from repro.market.subscription import Subscription
+
+
+def main() -> None:
+    data = make_workload("real")
+    payless, __ = build_system("payless", data)
+    country = data.countries[0]
+
+    print("=== A two-analyst organization ===")
+    acme = Organization(payless, name="acme-weather-desk")
+    alice = acme.user("alice")
+    bob = acme.user("bob")
+
+    alice.query(
+        "SELECT * FROM Weather WHERE Country = ? AND Date >= ? AND Date <= ?",
+        (country, 1, 60),
+    )
+    result = bob.query(
+        "SELECT AVG(Temperature) FROM Weather "
+        "WHERE Country = ? AND Date >= ? AND Date <= ?",
+        (country, 10, 40),
+    )
+    print(f"Bob's overlapping query cost: {result.transactions} transactions")
+    print(acme.spend_report())
+
+    print("\n=== Deferred batch ===")
+    t_narrow = alice.defer(
+        "SELECT * FROM Weather WHERE Country = ? AND Date >= ? AND Date <= ?",
+        (data.countries[1], 5, 11),
+    )
+    t_broad = bob.defer(
+        "SELECT * FROM Weather WHERE Country = ?", (data.countries[1],)
+    )
+    results = acme.flush()
+    print(
+        f"broad query paid {results[t_broad].transactions}, narrow rode "
+        f"free ({results[t_narrow].transactions})"
+    )
+
+    print("\n=== Budget enforcement ===")
+    fresh, __ = build_system("payless", data)
+    budgeted = BudgetedPayLess(fresh, BudgetPolicy(limit_transactions=50))
+    try:
+        budgeted.query("SELECT * FROM Weather")  # whole table ≫ 50
+    except BudgetExceededError as error:
+        print(f"rejected up front: {error}")
+    small = budgeted.query(
+        "SELECT * FROM Weather WHERE Country = ? AND Date <= 10", (country,)
+    )
+    print(
+        f"small query allowed: {small.transactions} transactions, "
+        f"{budgeted.report.remaining} remaining"
+    )
+
+    print("\n=== The marketplace invoice ===")
+    plan = Subscription(transactions_per_block=100, block_price=12.0)
+    spent = payless.total_transactions
+    print(
+        f"organization used {spent} transactions -> "
+        f"{plan.blocks_for(spent)} blocks of 100 -> "
+        f"${plan.invoice(spent):.2f} "
+        f"({plan.utilization(spent):.0%} of the quota used)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package.
+
+Metadata lives in pyproject.toml; this file only exists because the target
+environment is offline (no PEP 517 build isolation, no `wheel`), which makes
+pip fall back to the classic `setup.py develop` editable-install path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PayLess: query optimization over cloud data markets "
+        "(EDBT 2015 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,49 @@
+"""PayLess — query optimization over cloud data markets (EDBT 2015).
+
+Reproduction of *"Query Optimization over Cloud Data Market"* by Yu Li,
+Eric Lo, Man Lung Yiu and Wenjian Xu.  The top-level package re-exports the
+pieces most users need:
+
+* :class:`~repro.market.server.DataMarket` — the simulated priced market;
+* :class:`~repro.core.payless.PayLess` — the buyer-side system;
+* :class:`~repro.core.baselines.DownloadAllStrategy` — the obvious
+  alternative PayLess is measured against.
+"""
+
+from repro.core.optimizer import OptimizerOptions
+from repro.core.payless import PayLess, QueryResult
+from repro.core.baselines import DownloadAllStrategy
+from repro.errors import ReproError
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import Dataset
+from repro.market.pricing import PricingPolicy
+from repro.market.server import DataMarket
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType
+from repro.semstore.consistency import ConsistencyLevel, ConsistencyPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "Attribute",
+    "AttributeType",
+    "BindingPattern",
+    "ConsistencyLevel",
+    "ConsistencyPolicy",
+    "Database",
+    "DataMarket",
+    "Dataset",
+    "Domain",
+    "DownloadAllStrategy",
+    "OptimizerOptions",
+    "PayLess",
+    "PricingPolicy",
+    "QueryResult",
+    "ReproError",
+    "Schema",
+    "Table",
+    "__version__",
+]

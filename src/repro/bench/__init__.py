@@ -1,0 +1,47 @@
+"""Benchmark harness: session runner, figure drivers, text reporting."""
+
+from repro.bench.figures import (
+    DEFAULT_PROFILE,
+    FIG10_SYSTEMS,
+    WORKLOADS,
+    BenchProfile,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    make_instances,
+    make_workload,
+)
+from repro.bench.harness import (
+    SYSTEMS,
+    SessionResult,
+    build_system,
+    download_all_bound,
+    run_session,
+)
+from repro.bench.reporting import checkpoints, series_table, summary_table
+
+__all__ = [
+    "BenchProfile",
+    "DEFAULT_PROFILE",
+    "FIG10_SYSTEMS",
+    "SYSTEMS",
+    "SessionResult",
+    "WORKLOADS",
+    "build_system",
+    "checkpoints",
+    "download_all_bound",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "make_instances",
+    "make_workload",
+    "run_session",
+    "series_table",
+    "summary_table",
+]

@@ -1,0 +1,224 @@
+"""Per-figure experiment drivers (Figures 10-15 of the paper).
+
+Each driver regenerates the data behind one figure and returns the plotted
+series; the ``benchmarks/`` suite wraps them with pytest-benchmark and
+prints the tables.  Scales default far below the paper's (so the whole
+suite runs in minutes on a laptop); the shapes — who wins, by what factor,
+where the curves flatten — are what the reproduction validates.  Crank the
+:class:`BenchProfile` to approach paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.bench.harness import SessionResult, download_all_bound, run_session
+from repro.errors import ReproError
+from repro.workloads.tpch import (
+    TpchConfig,
+    TpchInstanceGenerator,
+    generate_tpch_workload,
+)
+from repro.workloads.weather import (
+    WeatherConfig,
+    WeatherInstanceGenerator,
+    generate_weather_workload,
+)
+
+WORKLOADS = ("real", "tpch", "tpch_skew")
+
+#: The four systems of Figure 10, in the paper's legend order.
+FIG10_SYSTEMS = ("payless", "payless_nosqr", "min_calls", "download_all")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """How big to run the experiments.
+
+    The paper uses q=200 (real) and q=10 (TPC-H) over 1 GB data; the
+    defaults here replay the same protocol at laptop-in-minutes scale.
+    """
+
+    #: Query instances per template (the paper's ``q``).
+    weather_q: int = 12
+    tpch_q: int = 2
+    #: Data sizes.
+    weather: WeatherConfig = field(default_factory=WeatherConfig)
+    tpch_scale: float = 1.0
+    #: Page size ``t`` (transactions hold this many tuples).
+    tuples_per_transaction: int = 100
+    instance_seed: int = 101
+
+
+DEFAULT_PROFILE = BenchProfile()
+
+
+def make_workload(
+    name: str,
+    profile: BenchProfile = DEFAULT_PROFILE,
+    tuples_per_transaction: int | None = None,
+    scale: float | None = None,
+):
+    """Generate the data for one of the three evaluation workloads."""
+    t = tuples_per_transaction or profile.tuples_per_transaction
+    if name == "real":
+        return generate_weather_workload(
+            replace(profile.weather, tuples_per_transaction=t)
+        )
+    if name == "tpch":
+        return generate_tpch_workload(
+            TpchConfig(
+                scale=scale or profile.tpch_scale,
+                zipf=None,
+                tuples_per_transaction=t,
+            )
+        )
+    if name == "tpch_skew":
+        return generate_tpch_workload(
+            TpchConfig(
+                scale=scale or profile.tpch_scale,
+                zipf=1.0,
+                tuples_per_transaction=t,
+            )
+        )
+    raise ReproError(f"unknown workload {name!r}; pick one of {WORKLOADS}")
+
+
+def make_instances(
+    name: str,
+    data,
+    q: int,
+    profile: BenchProfile = DEFAULT_PROFILE,
+):
+    """``q`` valid instances per template, shuffled (the paper's protocol)."""
+    if name == "real":
+        generator = WeatherInstanceGenerator(data, seed=profile.instance_seed)
+    else:
+        generator = TpchInstanceGenerator(data, seed=profile.instance_seed)
+    return generator.session(q)
+
+
+def default_q(name: str, profile: BenchProfile = DEFAULT_PROFILE) -> int:
+    return profile.weather_q if name == "real" else profile.tpch_q
+
+
+# --------------------------------------------------------------- Figure 10
+
+
+def figure10(
+    workload: str,
+    profile: BenchProfile = DEFAULT_PROFILE,
+    systems: Sequence[str] = FIG10_SYSTEMS,
+) -> dict[str, SessionResult]:
+    """Overall effectiveness: cumulative transactions for the four systems."""
+    data = make_workload(workload, profile)
+    instances = make_instances(workload, data, default_q(workload, profile), profile)
+    return {
+        system: run_session(system, data, instances) for system in systems
+    }
+
+
+# --------------------------------------------------------------- Figure 11
+
+
+def figure11(
+    workload: str,
+    t_values: Sequence[int] = (50, 100, 500),
+    profile: BenchProfile = DEFAULT_PROFILE,
+) -> dict[str, SessionResult | int]:
+    """Varying the page size t: PayLess vs the Download-All bound."""
+    results: dict[str, SessionResult | int] = {}
+    for t in t_values:
+        data = make_workload(workload, profile, tuples_per_transaction=t)
+        instances = make_instances(
+            workload, data, default_q(workload, profile), profile
+        )
+        results[f"payless_t{t}"] = run_session("payless", data, instances)
+        results[f"download_all_t{t}"] = download_all_bound(data)
+    return results
+
+
+# --------------------------------------------------------------- Figure 12
+
+
+def figure12(
+    workload: str,
+    q_values: Sequence[int],
+    profile: BenchProfile = DEFAULT_PROFILE,
+) -> dict[str, SessionResult | int]:
+    """Varying q, the number of instances per template."""
+    results: dict[str, SessionResult | int] = {}
+    data = make_workload(workload, profile)
+    for q in q_values:
+        instances = make_instances(workload, data, q, profile)
+        results[f"payless_q{q}"] = run_session("payless", data, instances)
+    results["download_all"] = download_all_bound(data)
+    return results
+
+
+# --------------------------------------------------------------- Figure 13
+
+
+def figure13(
+    workload: str,
+    scales: Sequence[float] = (0.5, 1.0, 2.0),
+    profile: BenchProfile = DEFAULT_PROFILE,
+) -> dict[str, SessionResult | int]:
+    """Varying the data size D (TPC-H workloads only in the paper)."""
+    results: dict[str, SessionResult | int] = {}
+    for scale in scales:
+        data = make_workload(workload, profile, scale=scale)
+        instances = make_instances(
+            workload, data, default_q(workload, profile), profile
+        )
+        results[f"payless_D{scale:g}"] = run_session("payless", data, instances)
+        results[f"download_all_D{scale:g}"] = download_all_bound(data)
+    return results
+
+
+# --------------------------------------------------------------- Figure 14
+
+
+def figure14(
+    workload: str,
+    q_values: Sequence[int],
+    profile: BenchProfile = DEFAULT_PROFILE,
+) -> dict[str, dict[int, float]]:
+    """Average evaluated (sub)plans: PayLess vs Disable SQR vs Disable All."""
+    arms = {
+        "PayLess": "payless",
+        "Disable SQR": "payless_nosqr",
+        "Disable All": "payless_disable_all",
+    }
+    data = make_workload(workload, profile)
+    results: dict[str, dict[int, float]] = {label: {} for label in arms}
+    for q in q_values:
+        instances = make_instances(workload, data, q, profile)
+        for label, system in arms.items():
+            session = run_session(system, data, instances)
+            results[label][q] = session.average_evaluated_plans
+    return results
+
+
+# --------------------------------------------------------------- Figure 15
+
+
+def figure15(
+    workload: str,
+    q_values: Sequence[int],
+    profile: BenchProfile = DEFAULT_PROFILE,
+) -> dict[str, dict[int, float]]:
+    """Average bounding boxes generated, with vs without pruning.
+
+    One PayLess run yields both series: Algorithm 1 instruments the raw
+    enumeration (No Pruning) and the post-pruning count (PayLess).
+    """
+    data = make_workload(workload, profile)
+    results: dict[str, dict[int, float]] = {"PayLess": {}, "No Pruning": {}}
+    for q in q_values:
+        instances = make_instances(workload, data, q, profile)
+        session = run_session("payless", data, instances)
+        results["PayLess"][q] = session.average_boxes(pruned=True)
+        results["No Pruning"][q] = session.average_boxes(pruned=False)
+    return results

@@ -1,0 +1,74 @@
+"""Plain-text reporting: the same rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def checkpoints(length: int, count: int = 10) -> list[int]:
+    """``count`` evenly spaced 1-based positions through a series."""
+    if length <= 0:
+        return []
+    count = min(count, length)
+    step = length / count
+    positions = sorted({max(int(round(step * (i + 1))), 1) for i in range(count)})
+    if positions[-1] != length:
+        positions.append(length)
+    return positions
+
+
+def series_table(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "query #",
+    points: int = 10,
+) -> str:
+    """Render several same-length series as an aligned checkpoint table."""
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    length = lengths.pop()
+    marks = checkpoints(length, points)
+
+    header = [x_label] + list(series)
+    rows = [
+        [str(mark)] + [_format(series[name][mark - 1]) for name in series]
+        for mark in marks
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def summary_table(
+    title: str,
+    rows: Sequence[Sequence[object]],
+    header: Sequence[str],
+) -> str:
+    """Render a small summary table (for the Figure 14/15 style bar data)."""
+    text_rows = [[_format(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in text_rows))
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands drive the library without writing any code:
+
+* ``demo`` — the Figure 1 walkthrough (plan choice, billing, free repeat);
+* ``session`` — replay a workload session through a chosen system and
+  print the cumulative-transaction series (the Figure 10 protocol);
+* ``explain`` — compile + optimize a SQL query against a generated
+  workload and print the plan without buying anything;
+* ``figures`` — regenerate one of the paper's figures and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.figures import (
+    WORKLOADS,
+    figure10,
+    figure14,
+    figure15,
+    make_instances,
+    make_workload,
+)
+from repro.bench.harness import SYSTEMS, download_all_bound, run_session
+from repro.bench.reporting import series_table, summary_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PayLess: query optimization over cloud data markets "
+        "(EDBT 2015 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the paper's Figure 1 walkthrough")
+
+    session = commands.add_parser(
+        "session", help="replay a workload session and print the spend curve"
+    )
+    session.add_argument("--workload", choices=WORKLOADS, default="real")
+    session.add_argument(
+        "--system", choices=SYSTEMS, default="payless",
+        help="buyer-side configuration to run",
+    )
+    session.add_argument(
+        "--instances", type=int, default=5,
+        help="query instances per template (the paper's q)",
+    )
+
+    explain = commands.add_parser(
+        "explain", help="optimize a SQL query and print the plan"
+    )
+    explain.add_argument("--workload", choices=WORKLOADS, default="real")
+    explain.add_argument("sql", help="SQL text (no ? parameters)")
+
+    figures = commands.add_parser(
+        "figures", help="regenerate one of the paper's figures"
+    )
+    figures.add_argument(
+        "figure", choices=["fig10", "fig14", "fig15"],
+        help="which figure to regenerate",
+    )
+    figures.add_argument("--workload", choices=WORKLOADS, default="real")
+    return parser
+
+
+def _cmd_demo() -> int:
+    from examples.quickstart import main as quickstart_main
+
+    try:
+        quickstart_main()
+    except ImportError:  # examples/ not importable when installed from wheel
+        print("examples/quickstart.py not available", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    data = make_workload(args.workload)
+    instances = make_instances(args.workload, data, args.instances)
+    print(
+        f"{args.system} on {args.workload}: {len(instances)} queries over "
+        f"{data.total_market_rows()} market rows "
+        f"(download-all bound: {download_all_bound(data)} transactions)"
+    )
+    session = run_session(args.system, data, instances)
+    print()
+    print(
+        series_table(
+            "Cumulative transactions",
+            {args.system: session.cumulative_transactions},
+        )
+    )
+    print(
+        f"\ntotal: {session.total_transactions} transactions, "
+        f"{session.total_calls} calls, ${session.total_price:g}"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.bench.harness import build_system
+
+    data = make_workload(args.workload)
+    payless, __ = build_system("payless", data)
+    planning = payless.explain(args.sql)
+    print(planning.plan.describe())
+    print(
+        f"\nestimated transactions: {planning.cost:.0f}; "
+        f"candidate plans evaluated: {planning.evaluated_plans}"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure == "fig10":
+        sessions = figure10(args.workload)
+        print(
+            series_table(
+                f"Figure 10 ({args.workload}): cumulative transactions",
+                {
+                    name: session.cumulative_transactions
+                    for name, session in sessions.items()
+                },
+            )
+        )
+        return 0
+    q_values = (2, 4) if args.workload == "real" else (1, 2)
+    if args.figure == "fig14":
+        results = figure14(args.workload, q_values)
+        rows = [
+            [q] + [round(results[arm][q], 1) for arm in results]
+            for q in q_values
+        ]
+        print(
+            summary_table(
+                f"Figure 14 ({args.workload}): avg evaluated plans",
+                rows,
+                ["q"] + list(results),
+            )
+        )
+        return 0
+    results = figure15(args.workload, q_values)
+    rows = [
+        [q, round(results["PayLess"][q], 1), round(results["No Pruning"][q], 1)]
+        for q in q_values
+    ]
+    print(
+        summary_table(
+            f"Figure 15 ({args.workload}): avg bounding boxes",
+            rows,
+            ["q", "PayLess", "No Pruning"],
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "session":
+        return _cmd_session(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    return _cmd_figures(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

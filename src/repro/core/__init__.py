@@ -1,0 +1,92 @@
+"""PayLess core: optimizer, semantic rewriting, execution, baselines."""
+
+from repro.core.advisor import TableAdvice, advise
+from repro.core.baselines import DownloadAllResult, DownloadAllStrategy
+from repro.core.batch import BatchResult, execute_batch, plan_batch_order
+from repro.core.budget import (
+    BudgetedPayLess,
+    BudgetExceededError,
+    BudgetMode,
+    BudgetPolicy,
+    BudgetReport,
+)
+from repro.core.bounding_boxes import (
+    CandidateBox,
+    GenerationResult,
+    generate_candidates,
+)
+from repro.core.context import LocalTableInfo, PlanningContext
+from repro.core.executor import ExecutionResult, Executor
+from repro.core.optimizer import (
+    Optimizer,
+    OptimizerOptions,
+    PlanningResult,
+    plan_space_baseline,
+    plan_space_payless,
+)
+from repro.core.organization import Organization, UserSession
+from repro.core.payless import PayLess, QueryResult
+from repro.core.prepared import PreparedQuery
+from repro.core.persistence import load_state, save_state
+from repro.core.plans import (
+    JoinNode,
+    LocalBlockNode,
+    LocalScanNode,
+    MarketAccessNode,
+    PlanNode,
+    market_leaves,
+    plan_price,
+)
+from repro.core.rewriter import RemainderQuery, RewriteResult, SemanticRewriter
+from repro.core.set_cover import (
+    CoverCandidate,
+    cover_cost,
+    greedy_weighted_set_cover,
+)
+
+__all__ = [
+    "BatchResult",
+    "TableAdvice",
+    "advise",
+    "BudgetExceededError",
+    "BudgetMode",
+    "BudgetPolicy",
+    "BudgetReport",
+    "BudgetedPayLess",
+    "CandidateBox",
+    "CoverCandidate",
+    "DownloadAllResult",
+    "DownloadAllStrategy",
+    "ExecutionResult",
+    "Executor",
+    "GenerationResult",
+    "JoinNode",
+    "LocalBlockNode",
+    "LocalScanNode",
+    "LocalTableInfo",
+    "MarketAccessNode",
+    "Optimizer",
+    "Organization",
+    "OptimizerOptions",
+    "PayLess",
+    "PlanNode",
+    "PlanningContext",
+    "PlanningResult",
+    "PreparedQuery",
+    "QueryResult",
+    "RemainderQuery",
+    "RewriteResult",
+    "SemanticRewriter",
+    "UserSession",
+    "cover_cost",
+    "execute_batch",
+    "plan_batch_order",
+    "generate_candidates",
+    "greedy_weighted_set_cover",
+    "load_state",
+    "market_leaves",
+    "save_state",
+    "plan_price",
+    "plan_space_baseline",
+    "plan_space_payless",
+]

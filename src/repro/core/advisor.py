@@ -1,0 +1,108 @@
+"""The hindsight advisor: was PayLess right not to download everything?
+
+The paper's introduction frames the buyer's dilemma: "downloading the whole
+dataset would become a viable plan when the foreknowledge tells that the
+number of transactions incurred by user queries would eventually exceed the
+number of transactions required to download the complete data set" — and
+the whole point of PayLess is that nobody has that foreknowledge.
+
+This advisor supplies the *hindsight* version, per table: how much the
+session actually spent on a table vs what downloading it whole would have
+cost, the break-even point, and a recommendation going forward.  Because
+PayLess's per-table spend is bounded — once the store covers a table it
+never pays again — the recommendation can only ever be "you already
+crossed break-even; spend stops soon anyway" or "you're still far below;
+keep paying per query", never a regretful open-ended bleed (that is the
+Minimizing-Calls failure mode the evaluation shows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.payless import PayLess
+
+
+@dataclass(frozen=True)
+class TableAdvice:
+    """The hindsight ledger for one market table."""
+
+    table: str
+    dataset: str
+    spent_transactions: int
+    download_cost: int
+    #: Fraction of the table's rows already in the semantic store.
+    coverage: float
+
+    @property
+    def crossed_break_even(self) -> bool:
+        return self.spent_transactions >= self.download_cost
+
+    @property
+    def recommendation(self) -> str:
+        if self.coverage >= 0.999:
+            return (
+                "fully cached — every future query on this table is free"
+            )
+        if self.crossed_break_even:
+            return (
+                "spend has crossed the bulk-download cost; remaining "
+                "uncached regions are the cheap tail and will stop costing "
+                "once covered"
+            )
+        return (
+            "well below the bulk-download cost — keep paying per query"
+        )
+
+
+def advise(payless: PayLess) -> list[TableAdvice]:
+    """Per-table hindsight advice for one installation's session so far."""
+    ledger = payless.market.ledger
+    advice: list[TableAdvice] = []
+    for dataset in payless.market:
+        for market_table in dataset:
+            name = market_table.name
+            if not payless.context.has_table(name) or not payless.context.is_market(
+                name
+            ):
+                continue
+            spent = sum(
+                entry.transactions
+                for entry in ledger
+                if entry.request.table.lower() == name.lower()
+            )
+            download_cost = dataset.pricing.transactions_for(
+                len(market_table.table)
+            )
+            cached = (
+                payless.store.table(name).cached_row_count
+                if payless.store.has_table(name)
+                else 0
+            )
+            total_rows = len(market_table.table)
+            coverage = cached / total_rows if total_rows else 1.0
+            advice.append(
+                TableAdvice(
+                    table=name,
+                    dataset=dataset.name,
+                    spent_transactions=spent,
+                    download_cost=download_cost,
+                    coverage=min(coverage, 1.0),
+                )
+            )
+    return advice
+
+
+def report(payless: PayLess) -> str:
+    """A printable hindsight report for the whole installation."""
+    lines = ["Hindsight: per-table spend vs bulk download", ""]
+    header = f"{'table':<12} {'spent':>6} {'download':>9} {'cached':>7}  note"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for advice in advise(payless):
+        lines.append(
+            f"{advice.table:<12} {advice.spent_transactions:>6} "
+            f"{advice.download_cost:>9} {advice.coverage:>6.0%}  "
+            f"{advice.recommendation}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The planning/execution context: everything PayLess knows at query time.
+
+Bundles the market connection, the catalog of market-table statistics, the
+semantic store, the rewriter, the buyer's local database, and cheap exact
+statistics about local tables.  Built once by the :class:`~repro.core.
+payless.PayLess` facade at registration time and threaded through the
+optimizer, baselines, and executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rewriter import SemanticRewriter
+from repro.errors import PlanningError
+from repro.market.server import DataMarket
+from repro.relational.database import Database
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.semstore.store import SemanticStore
+from repro.stats.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class LocalTableInfo:
+    """Exact, free statistics about a local table."""
+
+    table: str
+    cardinality: int
+    distinct: dict[str, int]
+
+    def distinct_of(self, attribute: str) -> int:
+        return self.distinct.get(attribute.lower(), self.cardinality)
+
+    @classmethod
+    def from_table(cls, table: Table) -> "LocalTableInfo":
+        distinct = {
+            attribute.name.lower(): len(table.distinct(attribute.name))
+            for attribute in table.schema
+        }
+        return cls(
+            table=table.name,
+            cardinality=len(table),
+            distinct=distinct,
+        )
+
+
+class PlanningContext:
+    """Shared state for planning and executing one buyer's queries."""
+
+    def __init__(
+        self,
+        market: DataMarket,
+        catalog: Catalog,
+        store: SemanticStore,
+        rewriter: SemanticRewriter,
+        local_db: Database,
+    ):
+        self.market = market
+        self.catalog = catalog
+        self.store = store
+        self.rewriter = rewriter
+        self.local_db = local_db
+        self._local_info: dict[str, LocalTableInfo] = {}
+        self._dataset_of: dict[str, str] = {}
+        self._schemas: dict[str, Schema] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register_local(self, table: Table) -> None:
+        key = table.name.lower()
+        self._local_info[key] = LocalTableInfo.from_table(table)
+        self._schemas[key] = table.schema
+
+    def register_market_table(self, dataset: str, table: str, schema: Schema) -> None:
+        key = table.lower()
+        self._dataset_of[key] = dataset
+        self._schemas[key] = schema
+
+    # -- lookups ----------------------------------------------------------------
+
+    def is_market(self, table: str) -> bool:
+        return table.lower() in self._dataset_of
+
+    def is_local(self, table: str) -> bool:
+        return table.lower() in self._local_info
+
+    def dataset_of(self, table: str) -> str:
+        try:
+            return self._dataset_of[table.lower()]
+        except KeyError:
+            raise PlanningError(f"{table!r} is not a market table") from None
+
+    def local_info(self, table: str) -> LocalTableInfo:
+        try:
+            return self._local_info[table.lower()]
+        except KeyError:
+            raise PlanningError(f"{table!r} is not a local table") from None
+
+    def tuples_per_transaction(self, table: str) -> int:
+        dataset = self.market.dataset(self.dataset_of(table))
+        return dataset.pricing.tuples_per_transaction
+
+    # -- SchemaProvider protocol (for the SQL analyzer) ---------------------------
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._schemas
+
+    def schema_of(self, name: str) -> Schema:
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            raise PlanningError(f"unknown table {name!r}") from None

@@ -1,0 +1,278 @@
+"""Plan execution: buy the missing data, then answer locally.
+
+The executor walks the plan tree left-to-right and, for every market leaf,
+re-runs semantic rewriting against the *current* store state (binding
+values are known by now), issues the remainder REST calls, records results
+into the semantic store, and feeds exact region counts back into the
+statistics (Figure 3, steps 5.1-5.4).  Intermediate joins are materialized
+only to obtain bind-join values; the final answer is produced the way the
+paper's architecture does it — all required rows are staged into the local
+DBMS and the whole query is evaluated there (steps 6-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import PlanningContext
+from repro.core.plans import (
+    JoinNode,
+    LocalBlockNode,
+    MarketAccessNode,
+    PlanNode,
+)
+from repro.errors import ExecutionError
+from repro.market.rest import RestRequest
+from repro.relational.database import Database
+from repro.relational.engine import evaluate
+from repro.relational.expressions import ColumnRef, RowLayout, conjunction
+from repro.relational.operators import Relation, filter_rows, hash_join, scan
+from repro.relational.query import AttributeConstraint, LogicalQuery
+from repro.relational.table import Table
+
+
+@dataclass
+class ExecutionResult:
+    """The final relation plus what this query actually cost."""
+
+    relation: Relation
+    transactions: int
+    price: float
+    calls: int
+    fetched_records: int
+    #: Simulated wall-clock spent on REST calls (serial sum).
+    market_time_ms: float = 0.0
+
+
+class _Fetched:
+    """Join components materialized during fetching.
+
+    Cartesian (Theorem 3) combinations are kept as separate components —
+    their cross product is never materialized; binding values are read from
+    the component that owns the attribute (empty sibling components zero
+    out the bindings, since a cross product with an empty side is empty).
+    """
+
+    def __init__(self, components: list[Relation]):
+        self.components = components
+
+    @property
+    def any_empty(self) -> bool:
+        return any(not component.rows for component in self.components)
+
+    def distinct_values(self, ref: ColumnRef) -> set:
+        if self.any_empty:
+            return set()
+        for component in self.components:
+            if component.layout.has(ref.table, ref.column):
+                return component.distinct_values(ref.table, ref.column)
+        raise ExecutionError(f"no fetched component holds {ref!r}")
+
+    def _component_of(self, ref: ColumnRef) -> int:
+        for index, component in enumerate(self.components):
+            if component.layout.has(ref.table, ref.column):
+                return index
+        raise ExecutionError(f"no fetched component holds {ref!r}")
+
+    def apply_joins(self, predicates: tuple) -> "_Fetched":
+        """Apply equi-join predicates, merging components as needed.
+
+        Predicates whose two sides live in different components hash-join
+        those components into one; predicates internal to one component
+        become a filter.  Components never referenced stay separate (they
+        are Cartesian siblings — their product is never materialized).
+        """
+        components = list(self.components)
+        for predicate in predicates:
+            left_table, right_table = predicate.tables()
+            left_ref = predicate.side_for(left_table)
+            right_ref = predicate.side_for(right_table)
+            fetched = _Fetched(components)
+            left_index = fetched._component_of(left_ref)
+            right_index = fetched._component_of(right_ref)
+            if left_index == right_index:
+                from repro.relational.expressions import Comparison
+                from repro.relational.operators import filter_rows
+
+                components[left_index] = filter_rows(
+                    components[left_index],
+                    Comparison("=", left_ref, right_ref),
+                )
+                continue
+            joined = hash_join(
+                components[left_index],
+                components[right_index],
+                [(left_ref, right_ref)],
+            )
+            keep = [
+                component
+                for index, component in enumerate(components)
+                if index not in (left_index, right_index)
+            ]
+            components = [joined] + keep
+        return _Fetched(components)
+
+
+class Executor:
+    """Executes one optimized plan for one logical query."""
+
+    def __init__(self, context: PlanningContext):
+        self.context = context
+
+    def execute(self, query: LogicalQuery, plan: PlanNode) -> ExecutionResult:
+        ledger = self.context.market.ledger
+        transactions_before = ledger.total_transactions
+        price_before = ledger.total_price
+        calls_before = ledger.total_calls
+        records_before = ledger.total_records
+        elapsed_before = ledger.total_elapsed_ms
+
+        self._query = query
+        self._staged: dict[str, list] = {}
+        self._fetch(plan)
+
+        staging = self._build_staging(query)
+        relation = evaluate(staging, query)
+
+        return ExecutionResult(
+            relation=relation,
+            transactions=ledger.total_transactions - transactions_before,
+            price=ledger.total_price - price_before,
+            calls=ledger.total_calls - calls_before,
+            fetched_records=ledger.total_records - records_before,
+            market_time_ms=ledger.total_elapsed_ms - elapsed_before,
+        )
+
+    # ------------------------------------------------------------------ fetching
+
+    def _fetch(self, node: PlanNode) -> _Fetched:
+        if isinstance(node, LocalBlockNode):
+            return self._fetch_block(node)
+        if isinstance(node, MarketAccessNode):
+            relation = self._fetch_market(node.table, ())
+            return _Fetched([relation])
+        if isinstance(node, JoinNode):
+            left = self._fetch(node.left)
+            if isinstance(node.right, MarketAccessNode) and node.bind:
+                right_components = [
+                    self._fetch_bound(node.right, node.predicates, left)
+                ]
+            else:
+                right_components = self._fetch(node.right).components
+            combined = _Fetched(left.components + right_components)
+            if node.predicates:
+                combined = combined.apply_joins(node.predicates)
+            return combined
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    def _fetch_block(self, node: LocalBlockNode) -> _Fetched:
+        """Evaluate the zero-price block on local + covered market data."""
+        block_db = Database()
+        for table_name in node.tables:
+            if self.context.is_market(table_name):
+                relation = self._fetch_market(table_name, ())
+                schema = self.context.schema_of(table_name)
+                staged = Table(table_name, schema)
+                staged.extend(relation.rows)
+                block_db.add(staged)
+            else:
+                block_db.add(self.context.local_db.table(table_name))
+        block_tables = {t.lower() for t in node.tables}
+        sub_query = LogicalQuery(
+            tables=list(node.tables),
+            constraints={
+                t: cs
+                for t, cs in self._query.constraints.items()
+                if t.lower() in block_tables
+            },
+            residuals={
+                t: rs
+                for t, rs in self._query.residuals.items()
+                if t.lower() in block_tables
+            },
+            joins=[
+                j
+                for j in self._query.joins
+                if j.tables()[0].lower() in block_tables
+                and j.tables()[1].lower() in block_tables
+            ],
+        )
+        return _Fetched([evaluate(block_db, sub_query)])
+
+    def _fetch_bound(
+        self,
+        node: MarketAccessNode,
+        predicates: tuple,
+        left: _Fetched,
+    ) -> Relation:
+        """Fetch the right side of a bind join with actual binding values."""
+        extra: list[AttributeConstraint] = []
+        for predicate in predicates:
+            inner = predicate.side_for(node.table)
+            outer = predicate.other_side(node.table)
+            values = left.distinct_values(outer)
+            if not values:
+                return self._empty_relation(node.table)
+            extra.append(
+                AttributeConstraint(inner.column, values=frozenset(values))
+            )
+        return self._fetch_market(node.table, tuple(extra))
+
+    def _fetch_market(
+        self,
+        table: str,
+        extra_constraints: tuple[AttributeConstraint, ...],
+    ) -> Relation:
+        """Rewrite, buy the remainder, record feedback, return region rows."""
+        constraints = list(self._query.constraints_for(table)) + list(
+            extra_constraints
+        )
+        rewrite = self.context.rewriter.rewrite(
+            table, constraints, self.context.tuples_per_transaction(table)
+        )
+        dataset = self.context.dataset_of(table)
+        statistics = self.context.catalog.statistics(table)
+        for remainder in rewrite.remainder:
+            response = self.context.market.get(
+                RestRequest(dataset, table, remainder.constraints)
+            )
+            self.context.store.record(table, remainder.box, response.rows)
+            statistics.histogram.observe(remainder.box, response.record_count)
+
+        rows = self.context.store.rows_in_boxes(table, rewrite.request_boxes)
+        relation = Relation(
+            RowLayout.for_table(table, self.context.schema_of(table).names),
+            rows,
+        )
+        predicates = [c.to_expression(table) for c in constraints]
+        predicates.extend(self._query.residuals_for(table))
+        if predicates:
+            relation = filter_rows(relation, conjunction(predicates))
+        staged = self._staged.setdefault(table.lower(), [])
+        seen = set(staged)
+        for row in relation.rows:
+            if row not in seen:
+                seen.add(row)
+                staged.append(row)
+        return relation
+
+    def _empty_relation(self, table: str) -> Relation:
+        self._staged.setdefault(table.lower(), [])
+        return Relation(
+            RowLayout.for_table(table, self.context.schema_of(table).names),
+            [],
+        )
+
+    # ------------------------------------------------------------------- staging
+
+    def _build_staging(self, query: LogicalQuery) -> Database:
+        staging = Database()
+        for table_name in query.tables:
+            if self.context.is_market(table_name):
+                schema = self.context.schema_of(table_name)
+                staged = Table(table_name, schema)
+                staged.extend(self._staged.get(table_name.lower(), []))
+                staging.add(staged)
+            else:
+                staging.add(self.context.local_db.table(table_name))
+        return staging

@@ -1,0 +1,683 @@
+"""PayLess's cost-based optimizer (Section 4, Algorithm 2).
+
+Bottom-up dynamic programming whose objective is the money paid to the
+market, with the paper's three search-space reductions:
+
+* **Theorem 1** — only left-deep plans are enumerated (each DP level adds
+  one market relation to the current left subtree);
+* **Theorem 2** — all *zero-price* relations (local tables, plus market
+  relations whose request region the semantic store already covers) are
+  joined first into a single ``LocalBlock`` leaf;
+* **Theorem 3** — when a relation subset splits into join-disconnected
+  components, the best plans of the components are combined with a
+  Cartesian product instead of being re-enumerated.
+
+Each candidate relation can be accessed directly (when its bound attributes
+are constrained by the query) or as the right side of a *bind join* on up
+to ``max_bind_attrs`` join attributes.  Access costs come from the semantic
+rewriter, so stored results reduce estimated prices exactly as they will at
+execution time.
+
+The module also houses the exhaustive *bushy* enumerator used by the
+"Disable All" arm of Figure 14, and the closed-form search-space size
+formulas of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.context import PlanningContext
+from repro.core.plans import (
+    JoinNode,
+    LocalBlockNode,
+    MarketAccessNode,
+    PlanNode,
+)
+from repro.core.rewriter import RewriteResult
+from repro.errors import PlanningError
+from repro.relational.expressions import conjunction
+from repro.relational.query import JoinPredicate, LogicalQuery
+from repro.semstore.space import BoxSpace
+
+
+@dataclass
+class OptimizerOptions:
+    """Switches for the evaluation's ablation arms."""
+
+    #: Consult the semantic store while costing ("PayLess w/o SQR" = False).
+    use_sqr: bool = True
+    #: Apply Theorems 1-3 ("Disable All" of Figure 14 = False → bushy).
+    use_theorems: bool = True
+    #: "transactions" (PayLess) or "calls" (the Minimizing-Calls baseline).
+    objective: str = "transactions"
+    #: Bind joins may bind values for at most this many attributes.
+    max_bind_attrs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("transactions", "calls"):
+            raise PlanningError(f"unknown objective {self.objective!r}")
+
+
+@dataclass
+class PlanningResult:
+    """The chosen plan plus the instrumentation Figures 14-15 read."""
+
+    plan: PlanNode
+    cost: float
+    evaluated_plans: int
+    enumerated_boxes: int
+    kept_boxes: int
+
+
+@dataclass
+class _SubPlan:
+    node: PlanNode
+    cost: float
+    rows: float
+
+
+class Optimizer:
+    """Algorithm 2, parameterized by :class:`OptimizerOptions`."""
+
+    def __init__(self, context: PlanningContext, options: OptimizerOptions | None = None):
+        self.context = context
+        self.options = options or OptimizerOptions()
+
+    # ------------------------------------------------------------------ entry
+
+    def optimize(self, query: LogicalQuery) -> PlanningResult:
+        self._query = query
+        self._evaluated = 0
+        self._enumerated_boxes = 0
+        self._kept_boxes = 0
+        self._rewrite_cache: dict = {}
+
+        market_tables = [t for t in query.tables if self.context.is_market(t)]
+        local_tables = [t for t in query.tables if not self.context.is_market(t)]
+        for table in local_tables:
+            if not self.context.is_local(table):
+                raise PlanningError(f"table {table!r} is neither local nor market")
+
+        if not self.options.use_theorems:
+            return self._optimize_bushy(query, market_tables, local_tables)
+
+        zero_market = [
+            t for t in market_tables if self._is_zero_price(t)
+        ]
+        priced = [t for t in market_tables if t not in zero_market]
+        block = self._build_block(local_tables, zero_market)
+
+        if not priced:
+            if block is None:
+                raise PlanningError("query references no tables")
+            return self._result(block)
+
+        best = self._dynamic_program(priced, block)
+        key = frozenset(t.lower() for t in priced)
+        if key not in best:
+            raise PlanningError(
+                "no feasible plan: some bound attributes can never be bound"
+            )
+        return self._result(best[key])
+
+    def _result(self, subplan: _SubPlan) -> PlanningResult:
+        return PlanningResult(
+            plan=subplan.node,
+            cost=subplan.cost,
+            evaluated_plans=self._evaluated,
+            enumerated_boxes=self._enumerated_boxes,
+            kept_boxes=self._kept_boxes,
+        )
+
+    # ---------------------------------------------------------------- theorems
+
+    def _is_zero_price(self, table: str) -> bool:
+        """Theorem 2 candidates: covered market relations are free."""
+        if not self.options.use_sqr:
+            return False
+        if not self._standalone_feasible(table):
+            return False
+        rewrite = self._rewrite(table)
+        return rewrite.fully_covered or rewrite.estimated_transactions == 0
+
+    def _build_block(
+        self, local_tables: list[str], zero_market: list[str]
+    ) -> _SubPlan | None:
+        """The Theorem-2 left-most leaf joining all zero-price relations."""
+        tables = list(local_tables) + list(zero_market)
+        if not tables:
+            return None
+        rows = 1.0
+        for table in local_tables:
+            rows *= max(self._local_filtered_count(table), 0)
+        for table in zero_market:
+            rewrite = self._rewrite(table)
+            region_rows = sum(
+                self.context.catalog.statistics(table).histogram.estimate(box)
+                for box in rewrite.request_boxes
+            )
+            rows *= max(region_rows, 0.0)
+        # Apply join selectivities for predicates internal to the block.
+        lowered = {t.lower() for t in tables}
+        for join in self._query.joins:
+            left_t, right_t = (t.lower() for t in join.tables())
+            if left_t in lowered and right_t in lowered:
+                d_left = self._base_distinct(join.left.table, join.left.column)
+                d_right = self._base_distinct(join.right.table, join.right.column)
+                rows /= max(d_left, d_right, 1.0)
+        node = LocalBlockNode(
+            relations=frozenset(t.lower() for t in tables),
+            cost=0.0,
+            estimated_rows=rows,
+            tables=tuple(tables),
+            covered_market_tables=tuple(zero_market),
+        )
+        return _SubPlan(node=node, cost=0.0, rows=rows)
+
+    def _components(
+        self, subset: frozenset[str], block_tables: frozenset[str]
+    ) -> list[frozenset[str]]:
+        """Theorem 3: connected components of ``subset`` in the join graph.
+
+        Tables joined to the zero-price block are connected *through* it.
+        """
+        parent = {t: t for t in subset}
+        block_anchor: str | None = None
+
+        def find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        for join in self._query.joins:
+            left_t, right_t = (t.lower() for t in join.tables())
+            if left_t in subset and right_t in subset:
+                union(left_t, right_t)
+            elif left_t in subset and right_t in block_tables:
+                if block_anchor is None:
+                    block_anchor = left_t
+                else:
+                    union(left_t, block_anchor)
+            elif right_t in subset and left_t in block_tables:
+                if block_anchor is None:
+                    block_anchor = right_t
+                else:
+                    union(right_t, block_anchor)
+
+        groups: dict[str, set[str]] = {}
+        for table in subset:
+            groups.setdefault(find(table), set()).add(table)
+        return [frozenset(group) for group in groups.values()]
+
+    # ------------------------------------------------------------------- the DP
+
+    def _dynamic_program(
+        self, priced: list[str], block: _SubPlan | None
+    ) -> dict[frozenset[str], _SubPlan]:
+        best: dict[frozenset[str], _SubPlan] = {}
+        block_tables = (
+            frozenset(t.lower() for t in block.node.tables)
+            if block is not None
+            else frozenset()
+        )
+        by_name = {t.lower(): t for t in priced}
+
+        # Level 1.
+        for table in priced:
+            key = frozenset([table.lower()])
+            for candidate in self._extension_candidates(block, table):
+                self._consider(best, key, candidate)
+
+        # Levels 2..n.
+        for size in range(2, len(priced) + 1):
+            for subset_names in combinations(sorted(by_name), size):
+                subset = frozenset(subset_names)
+                components = self._components(subset, block_tables)
+                if len(components) > 1:
+                    combined = self._combine_components(best, components)
+                    if combined is not None:
+                        self._evaluated += 1
+                        self._consider(best, subset, combined)
+                    continue
+                for table_key in subset:
+                    rest = subset - {table_key}
+                    left = best.get(rest)
+                    if left is None:
+                        continue
+                    table = by_name[table_key]
+                    for candidate in self._extension_candidates(left, table):
+                        self._consider(best, subset, candidate)
+        return best
+
+    def _consider(
+        self,
+        best: dict[frozenset[str], _SubPlan],
+        key: frozenset[str],
+        candidate: _SubPlan,
+    ) -> None:
+        incumbent = best.get(key)
+        if incumbent is None or candidate.cost < incumbent.cost:
+            best[key] = candidate
+
+    def _combine_components(
+        self,
+        best: dict[frozenset[str], _SubPlan],
+        components: list[frozenset[str]],
+    ) -> _SubPlan | None:
+        """Theorem 3 composition: Best(C1) × Best(C2) × ..."""
+        parts = []
+        for component in components:
+            part = best.get(component)
+            if part is None:
+                return None
+            parts.append(part)
+        parts.sort(key=lambda p: p.cost, reverse=True)
+        combined = parts[0]
+        for part in parts[1:]:
+            node = JoinNode(
+                relations=combined.node.relations | part.node.relations,
+                cost=combined.cost + part.cost,
+                estimated_rows=combined.rows * part.rows,
+                left=combined.node,
+                right=part.node,
+                predicates=(),
+                cartesian=True,
+            )
+            combined = _SubPlan(
+                node=node, cost=node.cost, rows=node.estimated_rows
+            )
+        return combined
+
+    # ----------------------------------------------------------- access costing
+
+    def _extension_candidates(
+        self, left: _SubPlan | None, table: str
+    ) -> list[_SubPlan]:
+        """All ways to add ``table`` to the current left subtree."""
+        candidates: list[_SubPlan] = []
+        applicable = (
+            self._applicable_joins(left.node.relations, table)
+            if left is not None
+            else []
+        )
+
+        if self._standalone_feasible(table):
+            access = self._direct_access(table)
+            self._evaluated += 1
+            candidates.append(self._attach(left, access, applicable, bind=False))
+
+        if left is not None and applicable:
+            bindable = [
+                j for j in applicable if self._bindable(table, j.side_for(table).column)
+            ]
+            for r in range(1, min(self.options.max_bind_attrs, len(bindable)) + 1):
+                for join_subset in combinations(bindable, r):
+                    bind_columns = {j.side_for(table).column for j in join_subset}
+                    if len(bind_columns) != len(join_subset):
+                        continue
+                    if not self._feasible_with_binding(table, bind_columns):
+                        continue
+                    access = self._bind_access(table, join_subset, left)
+                    self._evaluated += 1
+                    candidates.append(
+                        self._attach(left, access, applicable, bind=True)
+                    )
+        return candidates
+
+    def _attach(
+        self,
+        left: _SubPlan | None,
+        access: MarketAccessNode,
+        applicable: list[JoinPredicate],
+        bind: bool,
+    ) -> _SubPlan:
+        if left is None:
+            return _SubPlan(node=access, cost=access.cost, rows=access.estimated_rows)
+        rows = left.rows * access.estimated_rows
+        if applicable:
+            for join in applicable:
+                d_left = self._base_distinct(join.left.table, join.left.column)
+                d_right = self._base_distinct(join.right.table, join.right.column)
+                rows /= max(d_left, d_right, 1.0)
+        node = JoinNode(
+            relations=left.node.relations | access.relations,
+            cost=left.cost + access.cost,
+            estimated_rows=rows,
+            left=left.node,
+            right=access,
+            predicates=tuple(applicable),
+            bind=bind,
+            cartesian=not applicable,
+        )
+        return _SubPlan(node=node, cost=node.cost, rows=rows)
+
+    def _applicable_joins(
+        self, left_relations: frozenset[str], table: str
+    ) -> list[JoinPredicate]:
+        found = []
+        for join in self._query.joins:
+            if not join.involves(table):
+                continue
+            other = join.other_side(table).table.lower()
+            if other in left_relations:
+                found.append(join)
+        return found
+
+    def _direct_access(self, table: str) -> MarketAccessNode:
+        rewrite = self._rewrite(table)
+        statistics = self.context.catalog.statistics(table)
+        region_rows = sum(
+            statistics.histogram.estimate(box) for box in rewrite.request_boxes
+        )
+        cost = self._objective_cost(rewrite)
+        self._enumerated_boxes += rewrite.enumerated_boxes
+        self._kept_boxes += rewrite.kept_boxes
+        return MarketAccessNode(
+            relations=frozenset([table.lower()]),
+            cost=cost,
+            estimated_rows=region_rows,
+            table=table,
+            rewrite=rewrite,
+        )
+
+    def _bind_access(
+        self,
+        table: str,
+        joins: tuple[JoinPredicate, ...],
+        left: _SubPlan,
+    ) -> MarketAccessNode:
+        """Cost a bind-join access: one call per distinct binding combination."""
+        statistics = self.context.catalog.statistics(table)
+        tuples_per_transaction = self.context.tuples_per_transaction(table)
+        rewrite = self._rewrite(table)
+        region_rows = sum(
+            statistics.histogram.estimate(box) for box in rewrite.request_boxes
+        )
+
+        bindings = 1.0
+        selectivity = 1.0
+        for join in joins:
+            outer = join.other_side(table)
+            inner = join.side_for(table)
+            outer_distinct = min(
+                self._base_distinct(outer.table, outer.column), left.rows
+            )
+            bindings *= max(outer_distinct, 1.0)
+            domain = self._attribute_domain_size(table, inner.column)
+            selectivity /= max(domain, 1.0)
+        bindings = min(bindings, max(left.rows, 1.0))
+
+        rows_per_binding = region_rows * selectivity
+        fetched_rows = rows_per_binding * bindings
+        if self.options.use_sqr and region_rows > 0:
+            uncovered = rewrite.estimated_remainder_rows / region_rows
+            uncovered = min(max(uncovered, 0.0), 1.0)
+        elif self.options.use_sqr:
+            uncovered = 0.0
+        else:
+            uncovered = 1.0
+
+        if self.options.objective == "calls":
+            cost = bindings
+        else:
+            per_call = (
+                math.ceil(rows_per_binding / tuples_per_transaction)
+                if rows_per_binding > 0
+                else 0
+            )
+            cost = bindings * uncovered * per_call
+        self._enumerated_boxes += rewrite.enumerated_boxes
+        self._kept_boxes += rewrite.kept_boxes
+        return MarketAccessNode(
+            relations=frozenset([table.lower()]),
+            cost=cost,
+            estimated_rows=min(fetched_rows, region_rows),
+            table=table,
+            rewrite=rewrite,
+            bind_attributes=tuple(j.side_for(table).column for j in joins),
+            estimated_bindings=bindings,
+        )
+
+    def _objective_cost(self, rewrite: RewriteResult) -> float:
+        if self.options.objective == "calls":
+            return float(max(len(rewrite.remainder), len(rewrite.request_boxes)))
+        return float(rewrite.estimated_transactions)
+
+    def _rewrite(self, table: str) -> RewriteResult:
+        key = table.lower()
+        cached = self._rewrite_cache.get(key)
+        if cached is not None:
+            return cached
+        rewriter = self.context.rewriter
+        previous = rewriter.enabled
+        rewriter.enabled = previous and self.options.use_sqr
+        try:
+            result = rewriter.rewrite(
+                table,
+                self._query.constraints_for(table),
+                self.context.tuples_per_transaction(table),
+            )
+        finally:
+            rewriter.enabled = previous
+        self._rewrite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------- feasibility
+
+    def _space(self, table: str) -> BoxSpace:
+        return self.context.catalog.statistics(table).space
+
+    def _constrained_attributes(self, table: str) -> set[str]:
+        return {
+            c.attribute.lower() for c in self._query.constraints_for(table)
+        }
+
+    def _standalone_feasible(self, table: str) -> bool:
+        """All bound dimensions are constrained by the query itself."""
+        constrained = self._constrained_attributes(table)
+        for dimension in self._space(table).dimensions:
+            if dimension.is_bound and dimension.attribute.lower() not in constrained:
+                return False
+        return True
+
+    def _feasible_with_binding(self, table: str, bound_columns: set[str]) -> bool:
+        constrained = self._constrained_attributes(table)
+        constrained |= {c.lower() for c in bound_columns}
+        for dimension in self._space(table).dimensions:
+            if dimension.is_bound and dimension.attribute.lower() not in constrained:
+                return False
+        return True
+
+    def _bindable(self, table: str, column: str) -> bool:
+        """A bind join can only bind a constrainable (dimension) attribute."""
+        return self._space(table).has_dimension(column)
+
+    # ----------------------------------------------------------------- statistics
+
+    def _base_distinct(self, table: str, column: str) -> float:
+        if self.context.is_market(table):
+            statistics = self.context.catalog.statistics(table)
+            space = statistics.space
+            index = space.dimension_index(column)
+            if index is None:
+                return float(statistics.cardinality)
+            dimension = space.dimensions[index]
+            return float(
+                min(dimension.high - dimension.low, statistics.cardinality)
+            )
+        return float(self.context.local_info(table).distinct_of(column))
+
+    def _attribute_domain_size(self, table: str, column: str) -> float:
+        statistics = self.context.catalog.statistics(table)
+        index = statistics.space.dimension_index(column)
+        if index is None:
+            return float(statistics.cardinality)
+        dimension = statistics.space.dimensions[index]
+        return float(dimension.high - dimension.low)
+
+    def _local_filtered_count(self, table: str) -> float:
+        """Exact matching-row count of a local table (local data is free)."""
+        data = self.context.local_db.table(table)
+        predicates = [
+            c.to_expression(table) for c in self._query.constraints_for(table)
+        ]
+        predicates.extend(self._query.residuals_for(table))
+        if not predicates:
+            return float(len(data))
+        from repro.relational.operators import filter_rows, scan
+
+        return float(len(filter_rows(scan(data, alias=table), conjunction(predicates)).rows))
+
+    # --------------------------------------------------------- bushy enumeration
+
+    def _optimize_bushy(
+        self,
+        query: LogicalQuery,
+        market_tables: list[str],
+        local_tables: list[str],
+    ) -> PlanningResult:
+        """Exhaustive bushy enumeration — the "Disable All" arm of Figure 14.
+
+        Every relation (local or market) is a base unit; every subset is
+        planned by trying all (left, right) splits with local joins and all
+        left-deep-style bind extensions.  No Theorem 1/2/3 shortcuts; the
+        instrumentation counts every candidate plan formed.
+        """
+        units: dict[str, _SubPlan] = {}
+        for table in local_tables:
+            rows = self._local_filtered_count(table)
+            node = LocalBlockNode(
+                relations=frozenset([table.lower()]),
+                cost=0.0,
+                estimated_rows=rows,
+                tables=(table,),
+            )
+            units[table.lower()] = _SubPlan(node=node, cost=0.0, rows=rows)
+        feasible_market: dict[str, _SubPlan] = {}
+        for table in market_tables:
+            if self._standalone_feasible(table):
+                access = self._direct_access(table)
+                self._evaluated += 1
+                feasible_market[table.lower()] = _SubPlan(
+                    node=access, cost=access.cost, rows=access.estimated_rows
+                )
+
+        all_tables = sorted(
+            [t.lower() for t in query.tables]
+        )
+        by_name = {t.lower(): t for t in query.tables}
+        best: dict[frozenset[str], _SubPlan] = {}
+        for key, subplan in units.items():
+            best[frozenset([key])] = subplan
+        for key, subplan in feasible_market.items():
+            self._consider(best, frozenset([key]), subplan)
+
+        for size in range(2, len(all_tables) + 1):
+            for subset_names in combinations(all_tables, size):
+                subset = frozenset(subset_names)
+                # (i) all binary splits joined locally (bushy shape).
+                for r in range(1, size):
+                    for left_names in combinations(sorted(subset), r):
+                        left_set = frozenset(left_names)
+                        right_set = subset - left_set
+                        left = best.get(left_set)
+                        right = best.get(right_set)
+                        if left is None or right is None:
+                            continue
+                        predicates = self._joins_between_sets(left_set, right_set)
+                        self._evaluated += 1
+                        rows = left.rows * right.rows
+                        for join in predicates:
+                            d_left = self._base_distinct(
+                                join.left.table, join.left.column
+                            )
+                            d_right = self._base_distinct(
+                                join.right.table, join.right.column
+                            )
+                            rows /= max(d_left, d_right, 1.0)
+                        node = JoinNode(
+                            relations=subset,
+                            cost=left.cost + right.cost,
+                            estimated_rows=rows,
+                            left=left.node,
+                            right=right.node,
+                            predicates=tuple(predicates),
+                            cartesian=not predicates,
+                        )
+                        self._consider(
+                            best, subset, _SubPlan(node=node, cost=node.cost, rows=rows)
+                        )
+                # (ii) bind extensions: left subtree + one bound market table.
+                for table_key in subset:
+                    table = by_name[table_key]
+                    if not self.context.is_market(table):
+                        continue
+                    rest = subset - {table_key}
+                    left = best.get(rest)
+                    if left is None:
+                        continue
+                    for candidate in self._extension_candidates(left, table):
+                        self._consider(best, subset, candidate)
+
+        key = frozenset(all_tables)
+        if key not in best:
+            raise PlanningError("no feasible bushy plan")
+        return self._result(best[key])
+
+    def _joins_between_sets(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> list[JoinPredicate]:
+        found = []
+        for join in self._query.joins:
+            left_t, right_t = (t.lower() for t in join.tables())
+            if (left_t in left and right_t in right) or (
+                left_t in right and right_t in left
+            ):
+                found.append(join)
+        return found
+
+
+# ------------------------------------------------------------------ formulas
+
+
+def plan_space_baseline(n: int, tightened: bool = True) -> int:
+    """Search-space size of plain bushy DP for an all-free chain query.
+
+    The paper's closed form: ``n + Σ_k C(n,k) · Σ_i C(k,i) · 4^min(i,k-i)``.
+    Its headline approximation "≈ 6^n − 5^n" corresponds to the looser
+    per-plan bound ``4^(k-i)`` (each right-subtree call binds with up to two
+    left calls); pass ``tightened=False`` to evaluate that variant —
+    ``Σ_k C(n,k)·(5^k − 4^k − 1) + n`` — whose leading term is 6^n − 5^n.
+    """
+    total = n
+    for k in range(2, n + 1):
+        inner = 0
+        for i in range(1, k):
+            exponent = min(i, k - i) if tightened else k - i
+            inner += math.comb(k, i) * 4 ** exponent
+        total += math.comb(n, k) * inner
+    return total
+
+
+def plan_space_payless(n: int, zero_price: int = 0) -> int:
+    """Search-space size with Theorems 1-3 for a chain query.
+
+    ``4n' + Σ_k (4·k·(n'-k+1) + (C(n',k) − (n'-k+1)))`` with
+    ``n' = n − m`` zero-price relations folded away; ≈ 2^n' + (2/3)n'³.
+    """
+    reduced = n - zero_price
+    if reduced <= 0:
+        return 1
+    total = 4 * reduced
+    for k in range(2, reduced + 1):
+        connected = reduced - k + 1
+        disconnected = math.comb(reduced, k) - connected
+        total += 4 * k * connected + disconnected
+    return total

@@ -1,0 +1,131 @@
+"""Multi-user organizations — the paper's deployment unit.
+
+"PayLess is supposed to be installed by each data buyer and serves all the
+end users from the same data buyer" (Section 3), and the conclusion plans
+for "many end users using PayLess simultaneously ... multi-query
+optimization if users are willing to defer theirs to become a batch."
+
+An :class:`Organization` wraps one shared PayLess installation:
+
+* every end user gets a :class:`UserSession`; all sessions share the same
+  semantic store and statistics, so one analyst's purchases make a
+  colleague's overlapping queries free;
+* spend is attributed per user for the finance report;
+* users may *defer* queries; :meth:`Organization.flush` executes the
+  deferred batch through the containment-ordered multi-query optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.batch import execute_batch
+from repro.core.payless import PayLess, QueryResult
+from repro.errors import ReproError
+
+
+@dataclass
+class _Deferred:
+    user: str
+    sql: str
+    params: tuple
+    ticket: int
+
+
+class UserSession:
+    """One end user's handle onto the shared installation."""
+
+    def __init__(self, organization: "Organization", name: str):
+        self.organization = organization
+        self.name = name
+        self.transactions = 0
+        self.queries = 0
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
+        """Run immediately, attributing the spend to this user."""
+        result = self.organization.payless.query(sql, params)
+        self.transactions += result.transactions
+        self.queries += 1
+        return result
+
+    def defer(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Queue for the next organization-wide batch; returns a ticket."""
+        return self.organization._defer(self.name, sql, tuple(params))
+
+    def __repr__(self) -> str:
+        return (
+            f"UserSession({self.name!r}, {self.queries} queries, "
+            f"{self.transactions} trans.)"
+        )
+
+
+class Organization:
+    """A buyer organization: one PayLess install, many end users."""
+
+    def __init__(self, payless: PayLess, name: str = "organization"):
+        self.payless = payless
+        self.name = name
+        self._users: dict[str, UserSession] = {}
+        self._deferred: list[_Deferred] = []
+        self._next_ticket = 0
+
+    def user(self, name: str) -> UserSession:
+        """Get or create the session for ``name``."""
+        key = name.lower()
+        if key not in self._users:
+            self._users[key] = UserSession(self, name)
+        return self._users[key]
+
+    @property
+    def users(self) -> list[UserSession]:
+        return list(self._users.values())
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._deferred)
+
+    def _defer(self, user: str, sql: str, params: tuple) -> int:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._deferred.append(
+            _Deferred(user=user, sql=sql, params=params, ticket=ticket)
+        )
+        return ticket
+
+    def flush(self) -> dict[int, QueryResult]:
+        """Run every deferred query as one cost-ordered batch.
+
+        Returns results keyed by ticket; spend is attributed to the user
+        who deferred each query (by the actual per-query billing inside
+        the batch).
+        """
+        if not self._deferred:
+            return {}
+        deferred = self._deferred
+        self._deferred = []
+        outcome = execute_batch(
+            self.payless, [(d.sql, d.params) for d in deferred]
+        )
+        results: dict[int, QueryResult] = {}
+        for entry, result in zip(deferred, outcome.results):
+            session = self.user(entry.user)
+            session.transactions += result.transactions
+            session.queries += 1
+            results[entry.ticket] = result
+        return results
+
+    def spend_report(self) -> str:
+        """Per-user attribution of the organization's market spend."""
+        lines = [f"{self.name}: {self.payless.bill()}"]
+        for session in sorted(self._users.values(), key=lambda s: s.name):
+            lines.append(
+                f"  {session.name}: {session.queries} queries, "
+                f"{session.transactions} transactions"
+            )
+        unattributed = self.payless.total_transactions - sum(
+            s.transactions for s in self._users.values()
+        )
+        if unattributed:
+            lines.append(f"  (unattributed: {unattributed} transactions)")
+        return "\n".join(lines)

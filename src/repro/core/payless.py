@@ -1,0 +1,263 @@
+"""The PayLess facade — the system of Figure 3.
+
+One :class:`PayLess` instance is one buyer organization's installation:
+it holds the market connection (auth is implicit in the simulator), the
+semantic store, the learned statistics, the local DBMS, and exposes the
+SQL interface end users see.
+
+Typical use::
+
+    market = DataMarket(); market.publish(dataset)
+    payless = PayLess(market)
+    payless.register_dataset("WHW")
+    result = payless.query(
+        "SELECT Temperature FROM Station, Weather WHERE ...", params
+    )
+    print(result.rows, result.transactions)
+
+The ``variant`` class methods build the evaluation's configurations:
+full PayLess, PayLess without semantic query rewriting, and the
+Minimizing-Calls competitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.baselines import DownloadAllStrategy
+from repro.core.context import PlanningContext
+from repro.core.executor import ExecutionResult, Executor
+from repro.core.optimizer import Optimizer, OptimizerOptions, PlanningResult
+from repro.core.plans import PlanNode
+from repro.core.rewriter import SemanticRewriter
+from repro.errors import PlanningError
+from repro.market.server import DataMarket
+from repro.relational.database import Database
+from repro.relational.operators import Relation
+from repro.relational.query import LogicalQuery
+from repro.relational.table import Table
+from repro.semstore.consistency import ConsistencyPolicy
+from repro.semstore.space import BoxSpace
+from repro.semstore.store import SemanticStore
+from repro.sqlparser.analyzer import compile_sql
+from repro.stats.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One line of the installation's query history."""
+
+    sequence: int
+    sql_tables: tuple[str, ...]
+    transactions: int
+    calls: int
+    evaluated_plans: int
+    used_bind_join: bool
+
+    def __repr__(self) -> str:
+        tables = ", ".join(self.sql_tables)
+        return (
+            f"#{self.sequence} [{tables}] {self.transactions} trans., "
+            f"{self.calls} calls"
+        )
+
+
+@dataclass
+class QueryResult:
+    """What a user query returns: rows plus the money it cost."""
+
+    relation: Relation
+    transactions: int
+    price: float
+    calls: int
+    fetched_records: int
+    plan: PlanNode
+    evaluated_plans: int
+    enumerated_boxes: int
+    kept_boxes: int
+    #: Simulated wall-clock the market calls would have taken.
+    market_time_ms: float = 0.0
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.relation.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return [column for __, column in self.relation.layout.columns]
+
+
+class PayLess:
+    """A buyer-side installation of the PayLess system."""
+
+    def __init__(
+        self,
+        market: DataMarket,
+        local_db: Database | None = None,
+        consistency: ConsistencyPolicy | None = None,
+        options: OptimizerOptions | None = None,
+        prune_bounding_boxes: bool = True,
+        statistic: str = "isomer",
+    ):
+        self.market = market
+        self.options = options or OptimizerOptions()
+        #: Which updatable statistic drives estimation ("isomer",
+        #: "independence", or "uniform"; see repro.stats.interface).
+        self.statistic = statistic
+        self.local_db = local_db or Database()
+        self.store = SemanticStore(consistency)
+        self.catalog = Catalog()
+        self.rewriter = SemanticRewriter(
+            self.store,
+            self.catalog,
+            enabled=self.options.use_sqr,
+            prune=prune_bounding_boxes,
+        )
+        self.context = PlanningContext(
+            market=self.market,
+            catalog=self.catalog,
+            store=self.store,
+            rewriter=self.rewriter,
+            local_db=self.local_db,
+        )
+        for table in self.local_db:
+            self.context.register_local(table)
+        self.total_transactions = 0
+        self.total_price = 0.0
+        self.total_calls = 0
+        self.queries_executed = 0
+        #: Per-query history (most recent last); see :class:`QueryLogEntry`.
+        self.history: list[QueryLogEntry] = []
+
+    # -- configuration shortcuts -------------------------------------------------
+
+    @classmethod
+    def full(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
+        """The complete system: SQR + all search-space theorems."""
+        return cls(market, options=OptimizerOptions(), **kwargs)
+
+    @classmethod
+    def without_sqr(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
+        """The "PayLess w/o SQR" arm of Figure 10."""
+        return cls(market, options=OptimizerOptions(use_sqr=False), **kwargs)
+
+    @classmethod
+    def minimizing_calls(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
+        """The Minimizing-Calls competitor of Figure 10."""
+        return cls(
+            market,
+            options=OptimizerOptions(use_sqr=False, objective="calls"),
+            **kwargs,
+        )
+
+    # -- registration ---------------------------------------------------------------
+
+    def register_dataset(self, name: str) -> None:
+        """Register with the market for ``name`` and ingest its basic stats."""
+        dataset = self.market.dataset(name)
+        for market_table in dataset:
+            statistics = market_table.basic_statistics()
+            space = BoxSpace.from_table(
+                market_table.name,
+                market_table.schema,
+                market_table.pattern,
+                statistics,
+            )
+            self.catalog.register(
+                market_table.name,
+                market_table.schema,
+                space,
+                statistics,
+                statistic=self.statistic,
+            )
+            self.store.register_table(space, market_table.schema)
+            self.context.register_market_table(
+                dataset.name, market_table.name, market_table.schema
+            )
+
+    def add_local_table(self, table: Table) -> None:
+        """Add a buyer-side table usable in queries alongside market data."""
+        self.local_db.add(table)
+        self.context.register_local(table)
+
+    # -- querying ---------------------------------------------------------------------
+
+    def compile(self, sql: str, params: Sequence[Any] = ()) -> LogicalQuery:
+        """Parse + analyze ``sql`` against registered tables."""
+        return compile_sql(sql, self.context, params)
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> PlanningResult:
+        """Optimize without executing; the plan's ``describe()`` is printable."""
+        query = self.compile(sql, params)
+        return Optimizer(self.context, self.options).optimize(query)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
+        """Optimize and execute ``sql``, paying as little as possible."""
+        logical = self.compile(sql, params)
+        return self.execute_logical(logical)
+
+    def execute_logical(self, logical: LogicalQuery) -> QueryResult:
+        """Run an already-compiled query (the benchmark harness fast path)."""
+        planning = Optimizer(self.context, self.options).optimize(logical)
+        execution = Executor(self.context).execute(logical, planning.plan)
+        self.total_transactions += execution.transactions
+        self.total_price += execution.price
+        self.total_calls += execution.calls
+        self.queries_executed += 1
+        from repro.core.plans import JoinNode
+
+        def _has_bind(node) -> bool:
+            if isinstance(node, JoinNode):
+                return node.bind or _has_bind(node.left) or _has_bind(node.right)
+            return False
+
+        self.history.append(
+            QueryLogEntry(
+                sequence=self.queries_executed,
+                sql_tables=tuple(logical.tables),
+                transactions=execution.transactions,
+                calls=execution.calls,
+                evaluated_plans=planning.evaluated_plans,
+                used_bind_join=_has_bind(planning.plan),
+            )
+        )
+        return QueryResult(
+            relation=execution.relation,
+            transactions=execution.transactions,
+            price=execution.price,
+            calls=execution.calls,
+            fetched_records=execution.fetched_records,
+            plan=planning.plan,
+            evaluated_plans=planning.evaluated_plans,
+            enumerated_boxes=planning.enumerated_boxes,
+            kept_boxes=planning.kept_boxes,
+            market_time_ms=execution.market_time_ms,
+        )
+
+    def query_batch(
+        self, batch: Sequence[tuple[str, Sequence[Any]]]
+    ) -> "BatchResult":
+        """Multi-query optimization: execute a batch in a cost-aware order.
+
+        The paper's conclusion sketches this as future work; see
+        :mod:`repro.core.batch` for the ordering heuristic.  Results come
+        back in submission order.
+        """
+        from repro.core.batch import execute_batch
+
+        return execute_batch(self, batch)
+
+    # -- the Download-All comparison ------------------------------------------------
+
+    def download_all_strategy(self) -> DownloadAllStrategy:
+        """A Download-All baseline sharing this instance's registrations."""
+        return DownloadAllStrategy(self.context)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def bill(self) -> str:
+        return (
+            f"{self.queries_executed} queries, {self.total_calls} calls, "
+            f"{self.total_transactions} transactions, ${self.total_price:g}"
+        )

@@ -1,0 +1,140 @@
+"""Persisting a PayLess installation across sessions.
+
+The whole economics of PayLess rests on *never* re-buying data it already
+holds — which only works if the semantic store (and the learned statistics)
+survive process restarts.  This module serializes the buyer-side state to a
+JSON file: per-table covered regions + cached rows, the feedback
+histograms, the consistency clock, and the running bill.
+
+Usage::
+
+    save_state(payless, "buyer_state.json")
+    ...
+    payless = PayLess.full(market); payless.register_dataset("WHW")
+    load_state(payless, "buyer_state.json")   # merges into the fresh install
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.payless import PayLess
+from repro.errors import ReproError
+from repro.semstore.boxes import Box
+from repro.semstore.store import CoveredBox
+from repro.stats.isomer import _Refined
+
+FORMAT_VERSION = 1
+
+
+def _box_to_json(box: Box) -> list[list[int]]:
+    return [list(extent) for extent in box.extents]
+
+
+def _box_from_json(data: list[list[int]]) -> Box:
+    return Box(tuple((low, high) for low, high in data))
+
+
+def save_state(payless: PayLess, path: str | Path) -> None:
+    """Write the buyer-side state (store + statistics + bill) to ``path``."""
+    from repro.stats.isomer import FeedbackHistogram
+
+    tables = {}
+    for key, table_store in payless.store._tables.items():  # noqa: SLF001
+        statistics = payless.catalog.statistics(key)
+        histogram_state = None
+        if isinstance(statistics.histogram, FeedbackHistogram):
+            histogram_state = {
+                "cardinality": statistics.histogram.cardinality,
+                "feedback_count": statistics.histogram.feedback_count,
+                "refined": [
+                    {"box": _box_to_json(refined.box), "count": refined.count}
+                    for refined in statistics.histogram._refined  # noqa: SLF001
+                ],
+            }
+        tables[key] = {
+            "covered": [
+                {
+                    "box": _box_to_json(covered.box),
+                    "stored_at": covered.stored_at,
+                    "row_count": covered.row_count,
+                }
+                for covered in table_store.covered
+            ],
+            "rows": [list(row) for row in table_store._rows],  # noqa: SLF001
+            # Only the default (ISOMER-style) statistic serializes; other
+            # statistics re-learn from scratch after a restart.
+            "histogram": histogram_state,
+        }
+    state = {
+        "version": FORMAT_VERSION,
+        "clock": payless.store.clock,
+        "totals": {
+            "transactions": payless.total_transactions,
+            "price": payless.total_price,
+            "calls": payless.total_calls,
+            "queries": payless.queries_executed,
+        },
+        "tables": tables,
+    }
+    Path(path).write_text(json.dumps(state))
+
+
+def load_state(payless: PayLess, path: str | Path) -> None:
+    """Merge a previously saved state into a freshly registered install.
+
+    Every table in the file must already be registered (re-register the
+    datasets first); the file's rows and coverage are merged into the
+    store, the histograms are restored, and the bill counters resume.
+    """
+    state = json.loads(Path(path).read_text())
+    if state.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported state version {state.get('version')!r}"
+        )
+    for key, table_state in state["tables"].items():
+        if not payless.store.has_table(key):
+            raise ReproError(
+                f"state references unregistered table {key!r}; call "
+                "register_dataset first"
+            )
+        table_store = payless.store.table(key)
+        rows = [tuple(row) for row in table_state["rows"]]
+        # Reinsert rows (dedup + grid points), then restore the exact
+        # covered-region list (record() would re-consolidate, so the list
+        # is written directly for fidelity).
+        for row in rows:
+            if row not in table_store._row_set:  # noqa: SLF001
+                table_store._row_set.add(row)  # noqa: SLF001
+                table_store._rows.append(row)  # noqa: SLF001
+                table_store._points.append(  # noqa: SLF001
+                    table_store.space.row_point(row, table_store.schema)
+                )
+        table_store.covered.extend(
+            CoveredBox(
+                box=_box_from_json(covered["box"]),
+                stored_at=covered["stored_at"],
+                row_count=covered["row_count"],
+            )
+            for covered in table_state["covered"]
+        )
+        from repro.stats.isomer import FeedbackHistogram
+
+        histogram = payless.catalog.statistics(key).histogram
+        histogram_state = table_state.get("histogram")
+        if histogram_state is not None and isinstance(
+            histogram, FeedbackHistogram
+        ):
+            histogram.cardinality = histogram_state["cardinality"]
+            histogram.feedback_count = histogram_state["feedback_count"]
+            histogram._refined = [  # noqa: SLF001
+                _Refined(box=_box_from_json(r["box"]), count=r["count"])
+                for r in histogram_state["refined"]
+            ]
+    payless.store.clock = state["clock"]
+    totals = state["totals"]
+    payless.total_transactions = totals["transactions"]
+    payless.total_price = totals["price"]
+    payless.total_calls = totals["calls"]
+    payless.queries_executed = totals["queries"]

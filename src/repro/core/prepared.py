@@ -1,0 +1,64 @@
+"""Prepared (parameterized) queries.
+
+The paper's usage model (Section 2.2): "We expect SQL queries to PayLess
+are parameterized queries embedded in certain application so that users
+(e.g., data scientists) issue the queries by specifying the parameter
+values via a web interface."  A :class:`PreparedQuery` is that template:
+parsed once, analyzed and optimized per execution (the optimum depends on
+the parameter values *and* on what the store already holds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.payless import PayLess, QueryResult
+from repro.errors import SqlAnalysisError
+from repro.sqlparser.ast import SelectStatement
+from repro.sqlparser.parser import parse
+
+
+class PreparedQuery:
+    """A parsed SQL template awaiting parameter values."""
+
+    def __init__(self, payless: PayLess, sql: str):
+        self.payless = payless
+        self.sql = sql
+        self._statement: SelectStatement = parse(sql)
+        self.executions = 0
+        self.total_transactions = 0
+
+    @property
+    def parameter_count(self) -> int:
+        return self._statement.parameter_count
+
+    def execute(self, params: Sequence[Any] = ()) -> QueryResult:
+        """Bind ``params`` and run the template."""
+        if len(params) != self.parameter_count:
+            raise SqlAnalysisError(
+                f"template has {self.parameter_count} parameters, "
+                f"{len(params)} values given"
+            )
+        from repro.sqlparser.analyzer import analyze
+
+        logical = analyze(self._statement, self.payless.context, params)
+        result = self.payless.execute_logical(logical)
+        self.executions += 1
+        self.total_transactions += result.transactions
+        return result
+
+    def explain(self, params: Sequence[Any] = ()):
+        """Optimize (without executing) for one parameter binding."""
+        from repro.core.optimizer import Optimizer
+        from repro.sqlparser.analyzer import analyze
+
+        logical = analyze(self._statement, self.payless.context, params)
+        return Optimizer(self.payless.context, self.payless.options).optimize(
+            logical
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.parameter_count} params, "
+            f"{self.executions} runs, {self.total_transactions} trans.)"
+        )

@@ -1,0 +1,327 @@
+"""Semantic query rewriting: answer from the store, buy only what's missing.
+
+Given a table and the (pushable) constraints of a query against it, the
+rewriter:
+
+1. maps the constraints to their request region (one or more boxes —
+   point-set constraints fan out, the decomposed-disjunction case);
+2. subtracts the store's covered region, yielding the elementary boxes of
+   the missing data V̄ (Figures 6/7);
+3. runs Algorithm 1 to generate candidate bounding boxes, with both pruning
+   rules;
+4. solves the weighted set cover to pick the cheapest set of valid
+   remainder queries;
+5. compares against the *direct* plan (fetch the request region outright,
+   no rewriting) and keeps whichever is estimated cheaper — the comparison
+   in Algorithm 2 (line 14).
+
+Elementary boxes that are not expressible as a single call (a partial
+multi-value categorical extent, e.g. "every country except Canada") can
+still be *elements* of the cover; for them the rewriter adds a snapped
+fallback candidate (categorical extent widened to the whole domain), so a
+cover always exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import PlanningError
+from repro.core.bounding_boxes import (
+    CandidateBox,
+    GenerationResult,
+    generate_candidates,
+)
+from repro.core.set_cover import CoverCandidate, greedy_weighted_set_cover
+from repro.relational.query import AttributeConstraint
+from repro.semstore.boxes import Box
+from repro.semstore.store import SemanticStore
+from repro.stats.catalog import Catalog, TableStatistics
+
+
+@dataclass(frozen=True)
+class RemainderQuery:
+    """One REST call to issue: a box plus its constraint rendering."""
+
+    box: Box
+    constraints: tuple[AttributeConstraint, ...]
+    estimated_rows: float
+    estimated_transactions: int
+
+
+@dataclass
+class RewriteResult:
+    """The outcome of rewriting one table access."""
+
+    table: str
+    #: The region the query asks for (disjoint boxes).
+    request_boxes: list[Box]
+    #: Remainder queries to send to the market (empty when fully covered).
+    remainder: list[RemainderQuery]
+    #: Estimated total transactions of the remainder.
+    estimated_transactions: int
+    #: Whether the store already covers the whole request region.
+    fully_covered: bool
+    #: Whether rewriting (vs the direct fetch) won the cost comparison.
+    used_rewriting: bool
+    #: Figure 15 instrumentation: bounding boxes enumerated / kept.
+    enumerated_boxes: int = 0
+    kept_boxes: int = 0
+    #: Estimated rows the remainder queries will pull from the market.
+    estimated_remainder_rows: float = 0.0
+
+    @property
+    def is_free(self) -> bool:
+        return self.estimated_transactions == 0 and not self.remainder
+
+
+class SemanticRewriter:
+    """Rewrites table accesses against a semantic store + catalog."""
+
+    def __init__(
+        self,
+        store: SemanticStore,
+        catalog: Catalog,
+        enabled: bool = True,
+        prune: bool = True,
+    ):
+        self.store = store
+        self.catalog = catalog
+        #: Global switch — the "PayLess w/o SQR" arm of Figure 10.
+        self.enabled = enabled
+        #: Algorithm 1 pruning switch — the "No Pruning" arm of Figure 15.
+        self.prune = prune
+
+    # -- public API -----------------------------------------------------------
+
+    def rewrite(
+        self,
+        table: str,
+        constraints: Sequence[AttributeConstraint],
+        tuples_per_transaction: int,
+    ) -> RewriteResult:
+        """Compute the cheapest set of REST calls answering the request."""
+        statistics = self.catalog.statistics(table)
+        space = statistics.space
+        request_boxes = space.boxes_for_constraints(constraints)
+        if not request_boxes:
+            # The request region is empty (off-domain point): nothing to buy.
+            return RewriteResult(
+                table=table,
+                request_boxes=[],
+                remainder=[],
+                estimated_transactions=0,
+                fully_covered=True,
+                used_rewriting=False,
+            )
+
+        direct = self._direct_plan(
+            statistics, request_boxes, tuples_per_transaction
+        )
+        if not self.enabled or not self.store.policy.rewriting_enabled:
+            return direct
+
+        elementary: list[Box] = []
+        for box in request_boxes:
+            elementary.extend(self.store.remainder(table, box))
+        if not elementary:
+            return RewriteResult(
+                table=table,
+                request_boxes=request_boxes,
+                remainder=[],
+                estimated_transactions=0,
+                fully_covered=True,
+                used_rewriting=True,
+            )
+
+        rewritten = self._cover_plan(
+            statistics, request_boxes, elementary, tuples_per_transaction
+        )
+        if direct.estimated_transactions < rewritten.estimated_transactions:
+            direct.enumerated_boxes = rewritten.enumerated_boxes
+            direct.kept_boxes = rewritten.kept_boxes
+            return direct
+        return rewritten
+
+    # -- strategies ---------------------------------------------------------------
+
+    def _direct_plan(
+        self,
+        statistics: TableStatistics,
+        request_boxes: list[Box],
+        tuples_per_transaction: int,
+    ) -> RewriteResult:
+        """Fetch the request region outright, one call per request box."""
+        remainder: list[RemainderQuery] = []
+        total = 0
+        for box in request_boxes:
+            query = self._remainder_query(
+                statistics, box, tuples_per_transaction
+            )
+            remainder.append(query)
+            total += query.estimated_transactions
+        return RewriteResult(
+            table=statistics.table,
+            request_boxes=request_boxes,
+            remainder=remainder,
+            estimated_transactions=total,
+            fully_covered=False,
+            used_rewriting=False,
+            estimated_remainder_rows=sum(q.estimated_rows for q in remainder),
+        )
+
+    #: Above this many elementary boxes, per-box histogram estimates are
+    #: replaced by a constant-density approximation over the request region
+    #: (one histogram probe total instead of thousands).
+    DENSITY_FALLBACK_THRESHOLD = 256
+
+    def _cover_plan(
+        self,
+        statistics: TableStatistics,
+        request_boxes: list[Box],
+        elementary: list[Box],
+        tuples_per_transaction: int,
+    ) -> RewriteResult:
+        """Algorithm 1 + weighted set cover over the missing region."""
+        space = statistics.space
+        estimate = statistics.histogram.estimate
+        if len(elementary) > self.DENSITY_FALLBACK_THRESHOLD:
+            region_rows = sum(
+                statistics.histogram.estimate(box) for box in request_boxes
+            )
+            region_volume = sum(box.volume() for box in request_boxes)
+            density = region_rows / region_volume if region_volume else 0.0
+            estimate = lambda box: density * box.volume()  # noqa: E731
+        generation = generate_candidates(
+            space,
+            elementary,
+            estimate,
+            tuples_per_transaction,
+            prune=self.prune,
+        )
+        candidates = self._coverage_candidates(
+            statistics, generation, tuples_per_transaction, estimate
+        )
+        if generation.merged_candidates:
+            cover_input = [
+                CoverCandidate(covers=c.covers, cost=float(c.transactions))
+                for c in candidates
+            ]
+            chosen = greedy_weighted_set_cover(len(elementary), cover_input)
+        else:
+            # No merged boxes to weigh against (single elementary box, or
+            # the enumeration was capped): the cover is simply every
+            # fallback candidate — skip the greedy entirely.
+            chosen = range(len(candidates))
+        remainder = [
+            self._to_remainder_query(space, candidates[index])
+            for index in chosen
+        ]
+        total = sum(query.estimated_transactions for query in remainder)
+        return RewriteResult(
+            table=statistics.table,
+            request_boxes=request_boxes,
+            remainder=remainder,
+            estimated_transactions=total,
+            fully_covered=False,
+            used_rewriting=True,
+            enumerated_boxes=generation.enumerated_count,
+            kept_boxes=generation.kept_count,
+            estimated_remainder_rows=sum(q.estimated_rows for q in remainder),
+        )
+
+    def _coverage_candidates(
+        self,
+        statistics: TableStatistics,
+        generation: GenerationResult,
+        tuples_per_transaction: int,
+        estimate=None,
+    ) -> list[CandidateBox]:
+        """All candidates offered to the set cover, guaranteeing feasibility.
+
+        Expressible elementary boxes stand for themselves; inexpressible
+        ones get a snapped fallback (categorical extents widened to the full
+        domain).  Algorithm 1's merged candidates come last.
+        """
+        space = statistics.space
+        if estimate is None:
+            estimate = statistics.histogram.estimate
+        candidates: list[CandidateBox] = []
+        seen: set[tuple] = set()
+        for candidate in generation.elementary_candidates:
+            if space.expressible(candidate.box):
+                candidates.append(candidate)
+                continue
+            snapped = self._snap(space, candidate.box)
+            if snapped.extents in seen:
+                continue
+            seen.add(snapped.extents)
+            rows = estimate(snapped)
+            covers = frozenset(
+                index
+                for index, element in enumerate(generation.elementary)
+                if snapped.contains_box(element)
+            )
+            candidates.append(
+                CandidateBox(
+                    box=snapped,
+                    estimated_rows=rows,
+                    transactions=math.ceil(rows / tuples_per_transaction)
+                    if rows > 0
+                    else 0,
+                    covers=covers,
+                )
+            )
+        for candidate in generation.merged_candidates:
+            if space.expressible(candidate.box):
+                candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _snap(space, box: Box) -> Box:
+        """Widen invalid categorical extents to the whole domain."""
+        extents = []
+        for dimension, extent in zip(space.dimensions, box.extents):
+            low, high = extent
+            if (
+                dimension.is_categorical
+                and high - low > 1
+                and extent != dimension.full_extent
+            ):
+                if dimension.is_bound:
+                    raise PlanningError(
+                        f"{space.table}: cannot express remainder on bound "
+                        f"categorical attribute {dimension.attribute!r}"
+                    )
+                extents.append(dimension.full_extent)
+            else:
+                extents.append(extent)
+        return Box(tuple(extents))
+
+    def _remainder_query(
+        self,
+        statistics: TableStatistics,
+        box: Box,
+        tuples_per_transaction: int,
+    ) -> RemainderQuery:
+        rows = statistics.histogram.estimate(box)
+        return RemainderQuery(
+            box=box,
+            constraints=statistics.space.constraints_for_box(box),
+            estimated_rows=rows,
+            estimated_transactions=(
+                math.ceil(rows / tuples_per_transaction) if rows > 0 else 0
+            ),
+        )
+
+    def _to_remainder_query(
+        self, space, candidate: CandidateBox
+    ) -> RemainderQuery:
+        return RemainderQuery(
+            box=candidate.box,
+            constraints=space.constraints_for_box(candidate.box),
+            estimated_rows=candidate.estimated_rows,
+            estimated_transactions=candidate.transactions,
+        )

@@ -1,0 +1,81 @@
+"""Chvátal's greedy weighted set cover.
+
+The second step of the paper's remainder-query generation (Section 4.2):
+given the elementary boxes (elements) and candidate bounding boxes (sets,
+each weighted by its estimated transactions), choose a cover of minimum
+total weight.  The greedy rule — pick the set minimizing
+``cost / newly covered elements`` — gives the classic ``1 + ln(n)``
+approximation [Chvátal 1979] in ``O(|B| · |E|)`` time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanningError
+
+
+@dataclass(frozen=True)
+class CoverCandidate:
+    """One candidate set: which elements it covers and what it costs."""
+
+    covers: frozenset[int]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if not self.covers:
+            raise PlanningError("a cover candidate must cover something")
+        if self.cost < 0:
+            raise PlanningError("cover cost cannot be negative")
+
+
+def greedy_weighted_set_cover(
+    element_count: int,
+    candidates: Sequence[CoverCandidate],
+) -> list[int]:
+    """Indices of the chosen candidates covering all ``element_count`` elements.
+
+    Implemented as *lazy greedy*: candidates sit in a heap keyed by their
+    last-known ``cost / gain`` ratio; because gains only shrink as elements
+    get covered (ratios only grow), a popped candidate whose ratio is still
+    current is globally optimal for this step.  Ties break toward larger
+    gain then lower index — deterministic for reproducible plans.  Raises
+    :class:`PlanningError` when no full cover exists.
+    """
+    if element_count == 0:
+        return []
+    import heapq
+
+    uncovered = set(range(element_count))
+    chosen: list[int] = []
+    heap: list[tuple[float, int, int, int]] = []  # (ratio, -gain, index, gain)
+    for index, candidate in enumerate(candidates):
+        gain = len(candidate.covers)
+        if gain:
+            heap.append((candidate.cost / gain, -gain, index, gain))
+    heapq.heapify(heap)
+
+    while uncovered:
+        while heap:
+            ratio, __, index, recorded_gain = heapq.heappop(heap)
+            gain = len(candidates[index].covers & uncovered)
+            if gain == 0:
+                continue
+            if gain == recorded_gain:
+                chosen.append(index)
+                uncovered -= candidates[index].covers
+                break
+            heapq.heappush(
+                heap, (candidates[index].cost / gain, -gain, index, gain)
+            )
+        else:
+            raise PlanningError(
+                f"set cover infeasible: {len(uncovered)} elements uncoverable"
+            )
+    return chosen
+
+
+def cover_cost(candidates: Sequence[CoverCandidate], chosen: Sequence[int]) -> float:
+    """Total cost of a chosen cover."""
+    return sum(candidates[index].cost for index in chosen)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the PayLess reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+subclasses keep the failure domains (SQL frontend, market access, planning,
+execution) distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference cannot be resolved."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to the declared attribute type."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SqlAnalysisError(SqlError):
+    """The SQL parsed but references unknown tables/columns or is unsupported."""
+
+
+class BindingError(ReproError):
+    """A REST call violates the table's binding pattern."""
+
+
+class MarketError(ReproError):
+    """A data-market request is invalid (unknown dataset/table, bad constraint)."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a feasible plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed during execution."""
+
+
+class StatisticsError(ReproError):
+    """A statistics structure was fed inconsistent or out-of-domain feedback."""

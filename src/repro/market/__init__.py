@@ -1,0 +1,36 @@
+"""Simulated cloud data market: datasets, binding patterns, REST, billing."""
+
+from repro.market.billing import BillingLedger, LedgerEntry
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import BasicStatistics, Dataset, MarketTable
+from repro.market.latency import DEFAULT_LATENCY, INSTANT, LatencyModel
+from repro.market.pricing import (
+    DEFAULT_PRICE_PER_TRANSACTION,
+    DEFAULT_TUPLES_PER_TRANSACTION,
+    PricingPolicy,
+)
+from repro.market.rest import RestRequest, RestResponse, interval, point
+from repro.market.server import DataMarket
+from repro.market.subscription import Subscription
+
+__all__ = [
+    "AccessMode",
+    "BasicStatistics",
+    "BillingLedger",
+    "BindingPattern",
+    "DataMarket",
+    "Dataset",
+    "DEFAULT_LATENCY",
+    "DEFAULT_PRICE_PER_TRANSACTION",
+    "DEFAULT_TUPLES_PER_TRANSACTION",
+    "INSTANT",
+    "LatencyModel",
+    "LedgerEntry",
+    "MarketTable",
+    "PricingPolicy",
+    "RestRequest",
+    "Subscription",
+    "RestResponse",
+    "interval",
+    "point",
+]

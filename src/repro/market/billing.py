@@ -1,0 +1,104 @@
+"""Billing: the ledger of every REST call and what it cost.
+
+The ledger is the ground truth the evaluation reads: Figures 10-13 of the
+paper all plot *cumulative transactions billed*, which is exactly
+``ledger.total_transactions`` over time.  Checkpoints let the benchmark
+harness snapshot the cumulative series after each user query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.market.rest import RestRequest
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One billed REST call."""
+
+    request: RestRequest
+    record_count: int
+    transactions: int
+    price: float
+    #: Simulated wall-clock of the call (see repro.market.latency).
+    elapsed_ms: float = 0.0
+
+
+class BillingLedger:
+    """Append-only record of billed calls with per-dataset aggregation."""
+
+    def __init__(self) -> None:
+        self._entries: list[LedgerEntry] = []
+
+    def record(
+        self,
+        request: RestRequest,
+        record_count: int,
+        transactions: int,
+        price: float,
+        elapsed_ms: float = 0.0,
+    ) -> LedgerEntry:
+        entry = LedgerEntry(
+            request, record_count, transactions, price, elapsed_ms
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    @property
+    def total_calls(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_records(self) -> int:
+        return sum(entry.record_count for entry in self._entries)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(entry.transactions for entry in self._entries)
+
+    @property
+    def total_price(self) -> float:
+        return sum(entry.price for entry in self._entries)
+
+    @property
+    def total_elapsed_ms(self) -> float:
+        """Simulated wall-clock spent on REST calls, summed serially."""
+        return sum(entry.elapsed_ms for entry in self._entries)
+
+    def transactions_for_dataset(self, dataset: str) -> int:
+        wanted = dataset.lower()
+        return sum(
+            entry.transactions
+            for entry in self._entries
+            if entry.request.dataset.lower() == wanted
+        )
+
+    def summary(self) -> str:
+        """A short human-readable bill."""
+        per_dataset: dict[str, tuple[int, int, float]] = {}
+        for entry in self._entries:
+            calls, transactions, price = per_dataset.get(
+                entry.request.dataset, (0, 0, 0.0)
+            )
+            per_dataset[entry.request.dataset] = (
+                calls + 1,
+                transactions + entry.transactions,
+                price + entry.price,
+            )
+        lines = [
+            f"{name}: {calls} calls, {transactions} transactions, ${price:g}"
+            for name, (calls, transactions, price) in sorted(per_dataset.items())
+        ]
+        lines.append(
+            f"TOTAL: {self.total_calls} calls, "
+            f"{self.total_transactions} transactions, ${self.total_price:g}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Datasets: priced, binding-pattern-guarded collections of tables.
+
+A dataset is the unit a data owner publishes and prices (Section 2.1):
+it bundles one or more tables, each with a binding pattern, under one
+:class:`PricingPolicy`.  Datasets publish only *basic statistics* —
+cardinality and per-attribute domains — mirroring what real markets tag
+their data with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import MarketError, SchemaError
+from repro.market.binding import BindingPattern
+from repro.market.pricing import PricingPolicy
+from repro.relational.schema import Domain, Schema
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class BasicStatistics:
+    """What a data market publicly reveals about a table (Section 2.1)."""
+
+    cardinality: int
+    domains: dict[str, Domain]
+
+    def domain_of(self, attribute: str) -> Domain | None:
+        return self.domains.get(attribute.lower())
+
+
+class MarketTable:
+    """One table inside a dataset: data + binding pattern + basic stats.
+
+    Data-market datasets are *append-only* (Section 2.1 of the paper: they
+    are released for analytics; "new data could be added periodically").
+    :meth:`append` models a seller's periodic release.  Appends must stay
+    within the published attribute domains — buyers size their box spaces
+    from the domains at registration time, exactly as real buyers rely on
+    the seller's published metadata.
+    """
+
+    def __init__(self, table: Table, pattern: BindingPattern):
+        pattern.validate_against_schema(table.schema)
+        self.table = table
+        self.pattern = pattern
+        self._frozen_domains: dict[str, Domain] | None = None
+        #: Lazy hash indexes (attribute -> value -> rows) — the real
+        #: marketplace backends index their data; without this every GET
+        #: call would scan the full table, which dominates simulation time
+        #: for bind joins issuing thousands of point calls.
+        self._indexes: dict[str, dict] = {}
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    def append(self, rows: Iterable[tuple]) -> int:
+        """Seller-side periodic data release; returns rows appended.
+
+        Values of constrainable attributes must lie inside the published
+        domains (buyers' coverage bookkeeping depends on them).
+        """
+        if self._frozen_domains is None:
+            self._frozen_domains = self.basic_statistics().domains
+        appended = 0
+        for row in rows:
+            for name in self.pattern.constrainable_attributes:
+                domain = self._frozen_domains.get(name.lower())
+                value = row[self.schema.position(name)]
+                if domain is not None and not domain.contains(value):
+                    raise MarketError(
+                        f"{self.name}: appended value {value!r} for "
+                        f"{name!r} lies outside the published domain"
+                    )
+            self.table.append(row)
+            appended += 1
+        self._indexes.clear()
+        return appended
+
+    def _index(self, attribute: str) -> dict:
+        key = attribute.lower()
+        index = self._indexes.get(key)
+        if index is None:
+            position = self.schema.position(attribute)
+            index = {}
+            for row in self.table:
+                index.setdefault(row[position], []).append(row)
+            self._indexes[key] = index
+        return index
+
+    def rows_matching(self, request) -> list:
+        """Rows satisfying a :class:`~repro.market.rest.RestRequest`.
+
+        Uses a hash index on one point-constrained attribute when available,
+        falling back to a full scan otherwise.
+        """
+        point_constraints = [
+            c for c in request.constraints if c.is_point
+        ]
+        if point_constraints:
+            anchor = point_constraints[0]
+            candidates = self._index(anchor.attribute).get(anchor.value, [])
+            others = [
+                c for c in request.constraints
+                if c.attribute.lower() != anchor.attribute.lower()
+            ]
+            if not others:
+                return list(candidates)
+            positions = [
+                (self.schema.position(c.attribute), c) for c in others
+            ]
+            return [
+                row
+                for row in candidates
+                if all(c.matches(row[p]) for p, c in positions)
+            ]
+        schema = self.schema
+        return [row for row in self.table if request.matches(row, schema)]
+
+    def basic_statistics(self) -> BasicStatistics:
+        """Publish cardinality + per-attribute domains derived from the data.
+
+        Declared schema domains win when present; otherwise the domain is
+        computed from the data (the seller knows their own data).
+        """
+        domains: dict[str, Domain] = {}
+        for attribute in self.schema:
+            if attribute.domain is not None:
+                domains[attribute.name.lower()] = attribute.domain
+                continue
+            values = self.table.column(attribute.name)
+            if not values:
+                continue
+            if attribute.type.is_numeric:
+                domains[attribute.name.lower()] = Domain.numeric(
+                    min(values), max(values)
+                )
+            else:
+                domains[attribute.name.lower()] = Domain.categorical(set(values))
+        return BasicStatistics(cardinality=len(self.table), domains=domains)
+
+
+class Dataset:
+    """A named, priced bundle of market tables."""
+
+    def __init__(
+        self,
+        name: str,
+        pricing: PricingPolicy | None = None,
+    ):
+        if not name:
+            raise MarketError("dataset name must be non-empty")
+        self.name = name
+        self.pricing = pricing or PricingPolicy()
+        self._tables: dict[str, MarketTable] = {}
+
+    def add_table(self, table: Table, pattern: BindingPattern) -> MarketTable:
+        key = table.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {table.name!r} already in dataset {self.name!r}")
+        market_table = MarketTable(table, pattern)
+        self._tables[key] = market_table
+        return market_table
+
+    def table(self, name: str) -> MarketTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise MarketError(
+                f"dataset {self.name!r} has no table {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[MarketTable]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._tables.values()]

@@ -1,0 +1,41 @@
+"""Transaction pricing — Equation (1) of the paper.
+
+A *transaction* is a page of ``t`` tuples and the smallest pricing unit.
+A RESTful call returning ``n`` records costs ``ceil(n / t)`` transactions,
+each priced at ``p``.  The paper's running defaults are ``p = $1`` and
+``t = 100``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MarketError
+
+DEFAULT_TUPLES_PER_TRANSACTION = 100
+DEFAULT_PRICE_PER_TRANSACTION = 1.0
+
+
+@dataclass(frozen=True)
+class PricingPolicy:
+    """Per-dataset pricing: ``price_per_transaction`` and page size ``t``."""
+
+    tuples_per_transaction: int = DEFAULT_TUPLES_PER_TRANSACTION
+    price_per_transaction: float = DEFAULT_PRICE_PER_TRANSACTION
+
+    def __post_init__(self) -> None:
+        if self.tuples_per_transaction <= 0:
+            raise MarketError("tuples_per_transaction must be positive")
+        if self.price_per_transaction < 0:
+            raise MarketError("price_per_transaction must be non-negative")
+
+    def transactions_for(self, record_count: int) -> int:
+        """Number of transactions billed for a call returning ``record_count``."""
+        if record_count < 0:
+            raise MarketError("record count cannot be negative")
+        return math.ceil(record_count / self.tuples_per_transaction)
+
+    def price_for(self, record_count: int) -> float:
+        """Money billed for a call returning ``record_count`` records."""
+        return self.transactions_for(record_count) * self.price_per_transaction

@@ -1,0 +1,112 @@
+"""RESTful GET calls against the data market.
+
+A :class:`RestRequest` is the function-call-like ``X -> Y`` access of the
+paper: a conjunction of per-attribute constraints (a point value, or a
+half-open integer range for numeric attributes).  Disjunctions and point
+*sets* are deliberately inexpressible — callers must decompose them into
+several requests, exactly as the real market forces (Section 1's
+``Country='Canada' OR Country='Germany'`` example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import MarketError
+from repro.relational.query import AttributeConstraint
+from repro.relational.schema import Schema
+from repro.relational.table import Row
+
+
+@dataclass(frozen=True)
+class RestRequest:
+    """One GET call: ``dataset/table?attr=value&attr=[lo,hi)...``."""
+
+    dataset: str
+    table: str
+    constraints: tuple[AttributeConstraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for constraint in self.constraints:
+            if constraint.is_set:
+                raise MarketError(
+                    "a REST call cannot constrain an attribute to a value "
+                    f"set ({constraint.attribute!r}); decompose into one "
+                    "call per value"
+                )
+            key = constraint.attribute.lower()
+            if key in seen:
+                raise MarketError(
+                    f"duplicate constraint on attribute {constraint.attribute!r}"
+                )
+            seen.add(key)
+
+    @property
+    def constrained_attributes(self) -> list[str]:
+        return [c.attribute for c in self.constraints]
+
+    def constraint_for(self, attribute: str) -> AttributeConstraint | None:
+        wanted = attribute.lower()
+        for constraint in self.constraints:
+            if constraint.attribute.lower() == wanted:
+                return constraint
+        return None
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        """Whether a table row satisfies every constraint of this call."""
+        for constraint in self.constraints:
+            position = schema.position(constraint.attribute)
+            if not constraint.matches(row[position]):
+                return False
+        return True
+
+    def url(self) -> str:
+        """A human-readable GET-style rendering (for logs and examples)."""
+        parts = []
+        for constraint in self.constraints:
+            if constraint.is_point:
+                parts.append(f"{constraint.attribute}={constraint.value!r}")
+            else:
+                low = constraint.low if constraint.low is not None else ""
+                high = constraint.high if constraint.high is not None else ""
+                parts.append(f"{constraint.attribute}=[{low},{high})")
+        query = "&".join(parts)
+        return f"/{self.dataset}/{self.table}" + (f"?{query}" if query else "")
+
+    def __repr__(self) -> str:
+        return f"RestRequest({self.url()})"
+
+
+@dataclass(frozen=True)
+class RestResponse:
+    """The result of one GET call, with its billing already computed."""
+
+    request: RestRequest
+    rows: tuple[Row, ...]
+    schema: Schema
+    transactions: int
+    price: float
+
+    @property
+    def record_count(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"RestResponse({self.request.url()}, {self.record_count} records, "
+            f"{self.transactions} trans., ${self.price:g})"
+        )
+
+
+def point(attribute: str, value: Any) -> AttributeConstraint:
+    """Shorthand for a point constraint."""
+    return AttributeConstraint(attribute, value=value)
+
+
+def interval(
+    attribute: str, low: int | None = None, high: int | None = None
+) -> AttributeConstraint:
+    """Shorthand for a half-open integer range constraint ``[low, high)``."""
+    return AttributeConstraint(attribute, low=low, high=high)

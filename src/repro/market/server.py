@@ -1,0 +1,129 @@
+"""The data-market server: dataset registry + GET execution + metering.
+
+This is the cloud side of the paper's setting (Figure 2).  Buyers interact
+with it only through :meth:`DataMarket.get` — the simulator enforces exactly
+the restrictions of the real marketplace interface:
+
+* binding patterns are checked on every call (bound attributes must be
+  constrained; output attributes may not be);
+* range constraints are allowed only on numeric attributes;
+* there are no joins, no disjunctions, no aggregation server-side;
+* every call is billed ``ceil(records / t)`` transactions via the dataset's
+  pricing policy and recorded in a :class:`BillingLedger`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import MarketError
+from repro.market.billing import BillingLedger
+from repro.market.dataset import BasicStatistics, Dataset, MarketTable
+from repro.market.rest import RestRequest, RestResponse
+from repro.relational.query import AttributeConstraint
+
+
+class DataMarket:
+    """A simulated cloud data market hosting multiple priced datasets."""
+
+    def __init__(self, latency: "LatencyModel | None" = None) -> None:
+        from repro.market.latency import INSTANT
+
+        self._datasets: dict[str, Dataset] = {}
+        self.ledger = BillingLedger()
+        #: Simulated call latency (INSTANT by default; pass a
+        #: :class:`~repro.market.latency.LatencyModel` for realism).
+        self.latency = latency if latency is not None else INSTANT
+
+    # -- registry ------------------------------------------------------------
+
+    def publish(self, dataset: Dataset) -> Dataset:
+        """Make ``dataset`` available for purchase."""
+        key = dataset.name.lower()
+        if key in self._datasets:
+            raise MarketError(f"dataset {dataset.name!r} already published")
+        self._datasets[key] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name.lower()]
+        except KeyError:
+            raise MarketError(f"unknown dataset {name!r}") from None
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets.values())
+
+    def find_table(self, table_name: str) -> tuple[Dataset, MarketTable]:
+        """Locate a table by name across all datasets."""
+        for dataset in self._datasets.values():
+            if table_name in dataset:
+                return dataset, dataset.table(table_name)
+        raise MarketError(f"no dataset offers table {table_name!r}")
+
+    def basic_statistics(self, table_name: str) -> BasicStatistics:
+        """The publicly tagged stats of a table (what buyers can see free)."""
+        __, market_table = self.find_table(table_name)
+        return market_table.basic_statistics()
+
+    # -- the RESTful interface --------------------------------------------------
+
+    def get(self, request: RestRequest) -> RestResponse:
+        """Execute one GET call, bill it, and return the matching records."""
+        dataset = self.dataset(request.dataset)
+        if request.table not in dataset:
+            raise MarketError(
+                f"dataset {dataset.name!r} has no table {request.table!r}"
+            )
+        market_table = dataset.table(request.table)
+        self._validate(request, market_table)
+
+        rows = tuple(market_table.rows_matching(request))
+        transactions = dataset.pricing.transactions_for(len(rows))
+        price = dataset.pricing.price_for(len(rows))
+        self.ledger.record(
+            request,
+            len(rows),
+            transactions,
+            price,
+            elapsed_ms=self.latency.call_ms(transactions),
+        )
+        return RestResponse(
+            request=request,
+            rows=rows,
+            schema=market_table.schema,
+            transactions=transactions,
+            price=price,
+        )
+
+    @staticmethod
+    def _validate(request: RestRequest, market_table: MarketTable) -> None:
+        for constraint in request.constraints:
+            if constraint.attribute not in market_table.schema:
+                raise MarketError(
+                    f"{market_table.name}: unknown attribute "
+                    f"{constraint.attribute!r}"
+                )
+        market_table.pattern.validate_constrained(
+            request.constrained_attributes
+        )
+        for constraint in request.constraints:
+            attribute = market_table.schema.attribute(constraint.attribute)
+            if constraint.is_range and not attribute.type.is_numeric:
+                raise MarketError(
+                    f"{market_table.name}: range constraint on categorical "
+                    f"attribute {constraint.attribute!r}"
+                )
+
+    # -- convenience -----------------------------------------------------------
+
+    def download_table(self, table_name: str) -> RestResponse:
+        """Fetch a whole table with one unconstrained call (if its pattern
+        allows it); this is what the "Download All" baseline does."""
+        dataset, market_table = self.find_table(table_name)
+        if not market_table.pattern.downloadable:
+            raise MarketError(
+                f"table {table_name!r} has bound attributes and cannot be "
+                "downloaded with a single call"
+            )
+        return self.get(RestRequest(dataset.name, market_table.name))

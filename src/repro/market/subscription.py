@@ -1,0 +1,56 @@
+"""Subscription-style pricing: transaction quotas per billing period.
+
+The paper's motivating example (Section 1): "it costs USD 12 per month to
+obtain 100 'transactions' from the WorldWide Historical Weather dataset" —
+the real marketplace sold monthly transaction *quotas*, not strictly
+per-transaction metering.  A :class:`Subscription` converts a ledger's raw
+transaction count into what the buyer would actually be invoiced under
+such a plan: whole quota blocks, each at the block price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MarketError
+from repro.market.billing import BillingLedger
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A quota plan: ``block_price`` buys ``transactions_per_block``."""
+
+    transactions_per_block: int = 100
+    block_price: float = 12.0  # the paper's WHW example: $12 per 100
+
+    def __post_init__(self) -> None:
+        if self.transactions_per_block <= 0:
+            raise MarketError("a quota block must hold at least 1 transaction")
+        if self.block_price < 0:
+            raise MarketError("block price cannot be negative")
+
+    def blocks_for(self, transactions: int) -> int:
+        """Quota blocks needed to cover ``transactions``."""
+        if transactions < 0:
+            raise MarketError("transaction count cannot be negative")
+        return math.ceil(transactions / self.transactions_per_block)
+
+    def invoice(self, transactions: int) -> float:
+        """Money owed for ``transactions`` under this plan."""
+        return self.blocks_for(transactions) * self.block_price
+
+    def invoice_ledger(self, ledger: BillingLedger, dataset: str | None = None) -> float:
+        """Invoice a ledger's consumption (optionally one dataset's)."""
+        if dataset is None:
+            transactions = ledger.total_transactions
+        else:
+            transactions = ledger.transactions_for_dataset(dataset)
+        return self.invoice(transactions)
+
+    def utilization(self, transactions: int) -> float:
+        """Fraction of the purchased quota actually used (≤ 1)."""
+        blocks = self.blocks_for(transactions)
+        if blocks == 0:
+            return 0.0
+        return transactions / (blocks * self.transactions_per_block)

@@ -1,0 +1,75 @@
+"""In-memory relational substrate: the buyer-side local DBMS."""
+
+from repro.relational.database import Database
+from repro.relational.engine import evaluate, row_count
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Or,
+    RowLayout,
+    conjunction,
+)
+from repro.relational.operators import (
+    Aggregate,
+    Relation,
+    aggregate_rows,
+    cross_product,
+    distinct,
+    filter_rows,
+    hash_join,
+    project,
+    scan,
+    sort,
+    union_all,
+)
+from repro.relational.query import (
+    AttributeConstraint,
+    JoinPredicate,
+    LogicalQuery,
+    OutputColumn,
+)
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType, comparable
+
+__all__ = [
+    "Aggregate",
+    "And",
+    "Attribute",
+    "AttributeConstraint",
+    "AttributeType",
+    "ColumnRef",
+    "Comparison",
+    "Database",
+    "Domain",
+    "Expression",
+    "InList",
+    "JoinPredicate",
+    "Literal",
+    "LogicalQuery",
+    "Not",
+    "Or",
+    "OutputColumn",
+    "Relation",
+    "RowLayout",
+    "Schema",
+    "Table",
+    "aggregate_rows",
+    "comparable",
+    "conjunction",
+    "cross_product",
+    "distinct",
+    "evaluate",
+    "filter_rows",
+    "hash_join",
+    "project",
+    "row_count",
+    "scan",
+    "sort",
+    "union_all",
+]

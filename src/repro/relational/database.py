@@ -1,0 +1,58 @@
+"""A named collection of tables — the "local DBMS" of the PayLess setting.
+
+PayLess offloads final query processing (joins, aggregation) to a local
+DBMS (Figure 3, steps 6-8 of the paper).  This class plays that role: it
+holds the buyer's local tables plus the tables PayLess materializes from
+data-market results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class Database:
+    """A case-insensitive registry of :class:`Table` objects."""
+
+    def __init__(self, tables: Iterable[Table] = ()):
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: Table) -> Table:
+        key = table.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        return table
+
+    def create(self, name: str, schema: Schema) -> Table:
+        return self.add(Table(name, schema))
+
+    def get_or_create(self, name: str, schema: Schema) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key]
+        return self.add(Table(name, schema))
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def names(self) -> list[str]:
+        return [table.name for table in self._tables.values()]

@@ -1,0 +1,102 @@
+"""A straightforward evaluator for :class:`LogicalQuery` over a :class:`Database`.
+
+This is the "DBMS query engine" box of the paper's architecture (Figure 3):
+once PayLess has materialized all required data-market rows locally, the
+final join/aggregate work happens here.  It is deliberately simple — scan,
+filter, hash-join in join-graph order, then aggregate/sort/limit — because
+local execution costs no money and is not what the paper optimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.relational.database import Database
+from repro.relational.expressions import ColumnRef, conjunction
+from repro.relational.operators import (
+    Relation,
+    aggregate_rows,
+    cross_product,
+    distinct,
+    filter_rows,
+    hash_join,
+    limit as limit_rows,
+    project,
+    scan,
+    sort,
+)
+from repro.relational.query import LogicalQuery
+
+
+def _scan_with_selection(database: Database, query: LogicalQuery, name: str) -> Relation:
+    relation = scan(database.table(name), alias=name)
+    predicates = [c.to_expression(name) for c in query.constraints_for(name)]
+    predicates.extend(query.residuals_for(name))
+    if predicates:
+        relation = filter_rows(relation, conjunction(predicates))
+    return relation
+
+
+def _join_order(query: LogicalQuery) -> list[str]:
+    """Tables ordered so each (when possible) joins something already placed."""
+    remaining = list(query.tables)
+    ordered: list[str] = []
+    while remaining:
+        placed_lower = {name.lower() for name in ordered}
+        chosen = None
+        if ordered:
+            for candidate in remaining:
+                if query.joins_between(placed_lower, candidate):
+                    chosen = candidate
+                    break
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+    return ordered
+
+
+def evaluate(database: Database, query: LogicalQuery) -> Relation:
+    """Evaluate ``query`` against ``database`` and return the result relation."""
+    if not query.tables:
+        raise ExecutionError("query references no tables")
+
+    ordered = _join_order(query)
+    result = _scan_with_selection(database, query, ordered[0])
+    joined = [ordered[0]]
+    for name in ordered[1:]:
+        right = _scan_with_selection(database, query, name)
+        join_predicates = query.joins_between(joined, name)
+        if join_predicates:
+            keys = []
+            for join in join_predicates:
+                right_ref = join.side_for(name)
+                left_ref = join.other_side(name)
+                keys.append((left_ref, right_ref))
+            result = hash_join(result, right, keys)
+        else:
+            result = cross_product(result, right)
+        joined.append(name)
+
+    if query.has_aggregates:
+        result = aggregate_rows(result, query.group_by, query.aggregates)
+        if query.having is not None:
+            result = filter_rows(result, query.having)
+    elif query.group_by:
+        result = distinct(project(result, query.group_by))
+    elif not query.is_star:
+        result = project(result, [out.column for out in query.outputs])
+
+    if query.select_distinct:
+        result = distinct(result)
+    if query.order_by:
+        result = sort(result, query.order_by, query.order_descending or None)
+    if query.limit is not None:
+        result = limit_rows(result, query.limit)
+    return result
+
+
+def row_count(database: Database, query: LogicalQuery) -> int:
+    """Number of rows ``query`` yields — convenience for tests/validation."""
+    return len(evaluate(database, query))

@@ -1,0 +1,230 @@
+"""Physical operators over in-memory relations.
+
+A :class:`Relation` is a bag of rows plus a :class:`RowLayout` describing the
+columns.  Operators are plain functions from relations to relations; they
+materialize their output (fine for the data sizes this library targets, and
+it keeps behaviour easy to reason about in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    ColumnRef,
+    Expression,
+    Row,
+    RowLayout,
+)
+from repro.relational.table import Table
+
+
+@dataclass
+class Relation:
+    """A materialized intermediate result: rows + column layout."""
+
+    layout: RowLayout
+    rows: list[Row]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, table: str | None, column: str) -> list[Any]:
+        position = self.layout.resolve(table, column)
+        return [row[position] for row in self.rows]
+
+    def distinct_values(self, table: str | None, column: str) -> set[Any]:
+        position = self.layout.resolve(table, column)
+        return {row[position] for row in self.rows}
+
+
+def scan(table: Table, alias: str | None = None) -> Relation:
+    """Full scan of ``table``, columns qualified by ``alias`` (or table name)."""
+    name = alias or table.name
+    layout = RowLayout.for_table(name, table.schema.names)
+    return Relation(layout, list(table.rows))
+
+
+def filter_rows(relation: Relation, predicate: Expression) -> Relation:
+    """Keep only rows satisfying ``predicate``."""
+    check = predicate.bind(relation.layout)
+    return Relation(relation.layout, [row for row in relation.rows if check(row)])
+
+
+def project(relation: Relation, refs: Sequence[ColumnRef]) -> Relation:
+    """Project to the given column references, in order (bag semantics)."""
+    positions = [relation.layout.resolve(ref.table, ref.column) for ref in refs]
+    layout = RowLayout([(ref.table, ref.column) for ref in refs])
+    rows = [tuple(row[p] for p in positions) for row in relation.rows]
+    return Relation(layout, rows)
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    keys: Sequence[tuple[ColumnRef, ColumnRef]],
+) -> Relation:
+    """Equi-join on ``keys`` (pairs of left-side / right-side references).
+
+    Builds a hash table on the smaller input.  The output layout is the
+    concatenation ``left ++ right``.
+    """
+    if not keys:
+        return cross_product(left, right)
+    left_positions = [left.layout.resolve(l.table, l.column) for l, _ in keys]
+    right_positions = [right.layout.resolve(r.table, r.column) for _, r in keys]
+
+    build_right = len(right.rows) <= len(left.rows)
+    if build_right:
+        build, probe = right.rows, left.rows
+        build_positions, probe_positions = right_positions, left_positions
+    else:
+        build, probe = left.rows, right.rows
+        build_positions, probe_positions = left_positions, right_positions
+
+    buckets: dict[tuple[Any, ...], list[Row]] = {}
+    for row in build:
+        buckets.setdefault(tuple(row[p] for p in build_positions), []).append(row)
+
+    output: list[Row] = []
+    for row in probe:
+        matches = buckets.get(tuple(row[p] for p in probe_positions))
+        if not matches:
+            continue
+        if build_right:
+            output.extend(row + match for match in matches)
+        else:
+            output.extend(match + row for match in matches)
+    return Relation(left.layout.concat(right.layout), output)
+
+
+def cross_product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product; layout is ``left ++ right``."""
+    output = [l + r for l in left.rows for r in right.rows]
+    return Relation(left.layout.concat(right.layout), output)
+
+
+def distinct(relation: Relation) -> Relation:
+    """Remove duplicate rows, preserving first-seen order."""
+    seen: set[Row] = set()
+    output: list[Row] = []
+    for row in relation.rows:
+        if row not in seen:
+            seen.add(row)
+            output.append(row)
+    return Relation(relation.layout, output)
+
+
+def sort(
+    relation: Relation,
+    refs: Sequence[ColumnRef],
+    descending: Sequence[bool] | None = None,
+) -> Relation:
+    """Sort by the given columns; ``descending[i]`` flips the i-th key."""
+    positions = [relation.layout.resolve(ref.table, ref.column) for ref in refs]
+    flags = list(descending) if descending is not None else [False] * len(positions)
+    if len(flags) != len(positions):
+        raise ExecutionError("sort: descending flags do not match sort keys")
+    rows = list(relation.rows)
+    # Stable sort applied key-by-key from the least-significant key.
+    for position, flag in reversed(list(zip(positions, flags))):
+        rows.sort(key=lambda row: row[position], reverse=flag)
+    return Relation(relation.layout, rows)
+
+
+def limit(relation: Relation, count: int) -> Relation:
+    return Relation(relation.layout, relation.rows[:count])
+
+
+def union_all(relations: Iterable[Relation]) -> Relation:
+    """Bag union of relations sharing column count (layout of the first)."""
+    relations = list(relations)
+    if not relations:
+        raise ExecutionError("union_all of zero relations")
+    width = len(relations[0].layout)
+    rows: list[Row] = []
+    for relation in relations:
+        if len(relation.layout) != width:
+            raise ExecutionError("union_all: mismatched column counts")
+        rows.extend(relation.rows)
+    return Relation(relations[0].layout, rows)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A single aggregate: ``func`` over ``arg`` (None means ``*``).
+
+    ``arg`` may be any scalar :class:`Expression` — a plain column or an
+    arithmetic combination like ``ExtendedPrice * Discount``.
+    """
+
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    arg: Expression | None
+    alias: str
+
+    _SUPPORTED = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def __post_init__(self) -> None:
+        if self.func not in self._SUPPORTED:
+            raise ExecutionError(f"unsupported aggregate {self.func}")
+        if self.func != "COUNT" and self.arg is None:
+            raise ExecutionError(f"{self.func} requires a column argument")
+
+
+def _evaluate_aggregate(aggregate: Aggregate, values: list[Any]) -> Any:
+    if aggregate.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.func == "SUM":
+        return sum(values)
+    if aggregate.func == "AVG":
+        return sum(values) / len(values)
+    if aggregate.func == "MIN":
+        return min(values)
+    return max(values)
+
+
+def aggregate_rows(
+    relation: Relation,
+    group_by: Sequence[ColumnRef],
+    aggregates: Sequence[Aggregate],
+) -> Relation:
+    """GROUP BY + aggregate evaluation.
+
+    With an empty ``group_by`` this produces exactly one row (global
+    aggregation), even over an empty input — matching SQL semantics.
+    """
+    group_positions = [
+        relation.layout.resolve(ref.table, ref.column) for ref in group_by
+    ]
+    value_getters: list[Callable[[Row], Any] | None] = []
+    for aggregate in aggregates:
+        if aggregate.arg is None:
+            value_getters.append(None)
+        else:
+            value_getters.append(aggregate.arg.bind(relation.layout))
+
+    groups: dict[tuple[Any, ...], list[Row]] = {}
+    for row in relation.rows:
+        groups.setdefault(tuple(row[p] for p in group_positions), []).append(row)
+    if not group_by and not groups:
+        groups[()] = []
+
+    layout = RowLayout(
+        [(ref.table, ref.column) for ref in group_by]
+        + [(None, aggregate.alias) for aggregate in aggregates]
+    )
+    output: list[Row] = []
+    for key, rows in groups.items():
+        computed = []
+        for aggregate, getter in zip(aggregates, value_getters):
+            values = rows if getter is None else [getter(row) for row in rows]
+            if getter is None:
+                computed.append(len(values))
+            else:
+                computed.append(_evaluate_aggregate(aggregate, values))
+        output.append(key + tuple(computed))
+    return Relation(layout, output)

@@ -1,0 +1,77 @@
+"""A simple row-store table.
+
+Tables are append-only — the paper (Section 2.1) observes that data-market
+datasets are append-only because they are released for analytics — and that
+assumption also keeps the semantic store sound (stored results never go
+stale under the default *weak* consistency level).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.schema import Schema
+
+Row = tuple[Any, ...]
+
+
+class Table:
+    """An in-memory, append-only row store with a fixed :class:`Schema`."""
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Sequence[Any]] = ()):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+        self.extend(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"
+
+    @property
+    def rows(self) -> list[Row]:
+        """The underlying row list (treat as read-only)."""
+        return self._rows
+
+    def append(self, row: Sequence[Any]) -> None:
+        """Validate ``row`` against the schema and append it."""
+        if len(row) != len(self.schema):
+            raise TypeMismatchError(
+                f"{self.name}: row has {len(row)} values, schema has {len(self.schema)}"
+            )
+        coerced = tuple(
+            attribute.type.coerce(value)
+            for attribute, value in zip(self.schema, row)
+        )
+        self._rows.append(coerced)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of attribute ``name`` in row order."""
+        position = self.schema.position(name)
+        return [row[position] for row in self._rows]
+
+    def distinct(self, name: str) -> set[Any]:
+        """The set of distinct values of attribute ``name``."""
+        position = self.schema.position(name)
+        return {row[position] for row in self._rows}
+
+    def select(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Rows satisfying ``predicate`` (a plain callable over row tuples)."""
+        return [row for row in self._rows if predicate(row)]
+
+    def getter(self, name: str) -> Callable[[Row], Any]:
+        """A fast positional accessor for attribute ``name``."""
+        position = self.schema.position(name)
+        return lambda row: row[position]

@@ -1,0 +1,33 @@
+"""Semantic store: box algebra, covered regions, cached rows, consistency."""
+
+from repro.semstore.boxes import (
+    Box,
+    BoxError,
+    bounding_box,
+    covers_fully,
+    merge_adjacent,
+    remainder_decomposition,
+    subtract_all,
+    union_volume,
+)
+from repro.semstore.consistency import ConsistencyLevel, ConsistencyPolicy
+from repro.semstore.space import BoxSpace, Dimension
+from repro.semstore.store import CoveredBox, SemanticStore, TableStore
+
+__all__ = [
+    "Box",
+    "BoxError",
+    "BoxSpace",
+    "ConsistencyLevel",
+    "ConsistencyPolicy",
+    "CoveredBox",
+    "Dimension",
+    "SemanticStore",
+    "TableStore",
+    "bounding_box",
+    "covers_fully",
+    "merge_adjacent",
+    "remainder_decomposition",
+    "subtract_all",
+    "union_volume",
+]

@@ -1,0 +1,218 @@
+"""The semantic store: every REST call and its result, kept forever.
+
+PayLess "stores all the data market access requests and their returned data
+in a semantic store" (Figure 3, step 5.3) and deliberately never evicts —
+cheap local storage buys freedom from ever re-buying the same tuples.  Per
+market table the store tracks
+
+* the union of *covered boxes* (the regions of constraint space whose tuples
+  are locally complete), each stamped with the logical week it was fetched,
+* the cached rows themselves (deduplicated), and
+
+answers the two questions the optimizer and executor ask: "which part of
+this request region is missing?" (remainder decomposition) and "give me the
+cached rows inside this region" (result assembly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.relational.schema import Schema
+from repro.relational.table import Row
+from repro.semstore.boxes import (
+    Box,
+    covers_fully,
+    remainder_decomposition,
+)
+from repro.semstore.consistency import ConsistencyPolicy
+from repro.semstore.space import BoxSpace
+
+
+@dataclass(frozen=True)
+class CoveredBox:
+    """One stored region: where it is, when it was fetched, what it held."""
+
+    box: Box
+    stored_at: float
+    row_count: int
+
+
+class TableStore:
+    """Per-table slice of the semantic store."""
+
+    def __init__(self, space: BoxSpace, schema: Schema):
+        self.space = space
+        self.schema = schema
+        self.covered: list[CoveredBox] = []
+        self._rows: list[Row] = []
+        self._row_set: set[Row] = set()
+        #: Grid point of each cached row, computed once at insert time.
+        self._points: list[tuple[int, ...] | None] = []
+
+    @property
+    def cached_row_count(self) -> int:
+        return len(self._rows)
+
+    def record(self, box: Box, rows: Iterable[Row], stored_at: float) -> int:
+        """Store a fetched region; returns how many rows were new."""
+        new = 0
+        count = 0
+        for row in rows:
+            count += 1
+            if row not in self._row_set:
+                self._row_set.add(row)
+                self._rows.append(row)
+                self._points.append(self.space.row_point(row, self.schema))
+                new += 1
+        # Consolidate the coverage list: a region subsumed by an
+        # equally-fresh cover adds nothing, and covers subsumed by this
+        # fresher region can be dropped.  Keeps remainder computation
+        # linear in the number of *distinct* covered regions.
+        for existing in self.covered:
+            if existing.stored_at >= stored_at and existing.box.contains_box(box):
+                return new
+        self.covered = [
+            existing
+            for existing in self.covered
+            if not (
+                existing.stored_at <= stored_at
+                and box.contains_box(existing.box)
+            )
+        ]
+        self.covered.append(CoveredBox(box=box, stored_at=stored_at, row_count=count))
+        return new
+
+    def effective_covers(
+        self, policy: ConsistencyPolicy, now: float
+    ) -> list[Box]:
+        """Covered boxes still reusable under ``policy`` at clock ``now``."""
+        if not policy.rewriting_enabled:
+            return []
+        return [
+            covered.box
+            for covered in self.covered
+            if policy.is_fresh(covered.stored_at, now)
+        ]
+
+    def remainder(
+        self, query: Box, policy: ConsistencyPolicy, now: float
+    ) -> list[Box]:
+        """Elementary boxes of the part of ``query`` that must be fetched."""
+        return remainder_decomposition(
+            query, self.effective_covers(policy, now)
+        )
+
+    def is_covered(
+        self, query: Box, policy: ConsistencyPolicy, now: float
+    ) -> bool:
+        return covers_fully(query, self.effective_covers(policy, now))
+
+    def rows_in_box(self, box: Box) -> list[Row]:
+        """Cached rows whose grid point lies inside ``box``."""
+        return [
+            row
+            for row, point in zip(self._rows, self._points)
+            if point is not None and box.contains_point(point)
+        ]
+
+    def rows_in_boxes(self, boxes: Sequence[Box]) -> list[Row]:
+        """Cached rows inside the union of ``boxes`` (boxes must be disjoint).
+
+        Large box sets (bind-join fan-outs produce one box per binding
+        value) are probed through an *anchor dimension* index: boxes that
+        are single-valued on the anchor go into a hash bucket, so each row
+        checks only the handful of boxes sharing its anchor coordinate.
+        """
+        if not boxes:
+            return []
+        if len(boxes) <= 16:
+            return [
+                row
+                for row, point in zip(self._rows, self._points)
+                if point is not None
+                and any(box.contains_point(point) for box in boxes)
+            ]
+        dimensionality = boxes[0].dimensions
+        anchor = max(
+            range(dimensionality),
+            key=lambda axis: sum(
+                1
+                for box in boxes
+                if box.extents[axis][1] - box.extents[axis][0] == 1
+            ),
+        )
+        buckets: dict[int, list[Box]] = {}
+        residual: list[Box] = []
+        for box in boxes:
+            low, high = box.extents[anchor]
+            if high - low == 1:
+                buckets.setdefault(low, []).append(box)
+            else:
+                residual.append(box)
+        selected = []
+        for row, point in zip(self._rows, self._points):
+            if point is None:
+                continue
+            bucket = buckets.get(point[anchor], ())
+            if any(box.contains_point(point) for box in bucket) or any(
+                box.contains_point(point) for box in residual
+            ):
+                selected.append(row)
+        return selected
+
+    def count_in_box(self, box: Box) -> int:
+        """Exact number of cached rows inside ``box``."""
+        return len(self.rows_in_box(box))
+
+
+class SemanticStore:
+    """The buyer-side store of everything ever retrieved from the market."""
+
+    def __init__(self, policy: ConsistencyPolicy | None = None):
+        self.policy = policy or ConsistencyPolicy.weak()
+        self._tables: dict[str, TableStore] = {}
+        #: Logical clock in weeks; the harness advances it to model time
+        #: passing between query batches (only matters under X-week policy).
+        self.clock: float = 0.0
+
+    def register_table(self, space: BoxSpace, schema: Schema) -> TableStore:
+        key = space.table.lower()
+        if key in self._tables:
+            raise ReproError(f"table {space.table!r} already registered")
+        store = TableStore(space, schema)
+        self._tables[key] = store
+        return store
+
+    def table(self, name: str) -> TableStore:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ReproError(f"table {name!r} not registered in store") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def advance_clock(self, weeks: float) -> None:
+        if weeks < 0:
+            raise ReproError("the clock only moves forward")
+        self.clock += weeks
+
+    # -- convenience pass-throughs using the store's policy & clock ---------
+
+    def remainder(self, table: str, query: Box) -> list[Box]:
+        return self.table(table).remainder(query, self.policy, self.clock)
+
+    def is_covered(self, table: str, query: Box) -> bool:
+        return self.table(table).is_covered(query, self.policy, self.clock)
+
+    def effective_covers(self, table: str) -> list[Box]:
+        return self.table(table).effective_covers(self.policy, self.clock)
+
+    def record(self, table: str, box: Box, rows: Iterable[Row]) -> int:
+        return self.table(table).record(box, rows, self.clock)
+
+    def rows_in_boxes(self, table: str, boxes: Sequence[Box]) -> list[Row]:
+        return self.table(table).rows_in_boxes(boxes)

@@ -1,0 +1,15 @@
+"""SQL frontend: tokenizer, parser, and semantic analyzer."""
+
+from repro.sqlparser.analyzer import SchemaProvider, analyze, compile_sql
+from repro.sqlparser.ast import SelectStatement
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.parser import parse
+
+__all__ = [
+    "SchemaProvider",
+    "SelectStatement",
+    "analyze",
+    "compile_sql",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,508 @@
+"""Semantic analysis: parse tree + parameters + schemas → LogicalQuery.
+
+The analyzer resolves table aliases and unqualified columns against the
+schemas of the referenced tables, substitutes ``?`` parameter values, and
+normalizes the WHERE clause:
+
+* conjuncts of the top-level AND are classified as join predicates
+  (column = column), pushable per-table constraints (point / integer range /
+  point set), or residual local predicates;
+* chained equalities (``Station.Country = Weather.Country = ?``) expand to
+  a join predicate plus a point constraint on every chained column;
+* ``x = a OR x = b`` (same column, constants) becomes a point-set
+  constraint, the paper's decomposable-disjunction case; any other OR is
+  rejected, matching the data-market interface's lack of disjunction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence
+
+from repro.errors import SqlAnalysisError
+from repro.relational.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+)
+from repro.relational.operators import Aggregate
+from repro.relational.query import (
+    AttributeConstraint,
+    JoinPredicate,
+    LogicalQuery,
+    OutputColumn,
+)
+from repro.relational.schema import Schema
+from repro.relational.types import AttributeType
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+class SchemaProvider(Protocol):
+    """Anything that can resolve a table name to its schema."""
+
+    def has_table(self, name: str) -> bool: ...
+
+    def schema_of(self, name: str) -> Schema: ...
+
+
+class _Scope:
+    """Table bindings of one query: alias → (real name, schema)."""
+
+    def __init__(self, tables: Sequence[ast.TableRef], provider: SchemaProvider):
+        self._bindings: dict[str, tuple[str, Schema]] = {}
+        self.table_names: list[str] = []
+        for ref in tables:
+            if not provider.has_table(ref.name):
+                raise SqlAnalysisError(f"unknown table {ref.name!r}")
+            schema = provider.schema_of(ref.name)
+            key = ref.binding_name.lower()
+            if key in self._bindings:
+                raise SqlAnalysisError(
+                    f"duplicate table binding {ref.binding_name!r} "
+                    "(self-joins are not supported)"
+                )
+            self._bindings[key] = (ref.name, schema)
+            self.table_names.append(ref.name)
+        # Also allow referring to a table by its real name when aliased.
+        for ref in tables:
+            key = ref.name.lower()
+            if ref.alias is not None and key not in self._bindings:
+                self._bindings[key] = (ref.name, provider.schema_of(ref.name))
+
+    def resolve(self, column: ast.Column) -> ColumnRef:
+        """Resolve a source column to a fully-qualified :class:`ColumnRef`."""
+        if column.table is not None:
+            key = column.table.lower()
+            if key not in self._bindings:
+                raise SqlAnalysisError(f"unknown table {column.table!r}")
+            name, schema = self._bindings[key]
+            if column.name not in schema:
+                raise SqlAnalysisError(f"unknown column {column.table}.{column.name}")
+            return ColumnRef(name, schema.attribute(column.name).name)
+        matches = [
+            (name, schema)
+            for name, schema in self._bindings.values()
+            if column.name in schema
+        ]
+        # Dedupe (alias + real-name entries may both match the same table).
+        unique = {name.lower(): (name, schema) for name, schema in matches}
+        if not unique:
+            raise SqlAnalysisError(f"unknown column {column.name!r}")
+        if len(unique) > 1:
+            raise SqlAnalysisError(f"ambiguous column {column.name!r}")
+        name, schema = next(iter(unique.values()))
+        return ColumnRef(name, schema.attribute(column.name).name)
+
+    def attribute_type(self, ref: ColumnRef) -> AttributeType:
+        __, schema = self._bindings[ref.table.lower()]
+        return schema.attribute(ref.column).type
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        statement: ast.SelectStatement,
+        provider: SchemaProvider,
+        params: Sequence[Any],
+    ):
+        if statement.parameter_count != len(params):
+            raise SqlAnalysisError(
+                f"query has {statement.parameter_count} parameters, "
+                f"{len(params)} values given"
+            )
+        self._statement = statement
+        self._scope = _Scope(statement.tables, provider)
+        self._params = list(params)
+        self._constraints: dict[str, list[AttributeConstraint]] = {}
+        self._residuals: dict[str, list[Expression]] = {}
+        self._joins: list[JoinPredicate] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _value_of(self, term: ast.Term) -> Any:
+        if isinstance(term, ast.Parameter):
+            return self._params[term.index]
+        if isinstance(term, ast.Column):
+            raise SqlAnalysisError(f"expected a constant, found column {term!r}")
+        return term
+
+    def _is_constant(self, term: ast.Term) -> bool:
+        return not isinstance(term, ast.Column)
+
+    def _add_constraint(self, ref: ColumnRef, constraint: AttributeConstraint) -> None:
+        self._constraints.setdefault(ref.table, []).append(constraint)
+
+    def _add_residual(self, table: str, expression: Expression) -> None:
+        self._residuals.setdefault(table, []).append(expression)
+
+    def _single_table(self, refs: list[ColumnRef], context: str) -> str:
+        tables = {ref.table.lower() for ref in refs}
+        if len(tables) != 1:
+            raise SqlAnalysisError(f"{context} must reference a single table")
+        return refs[0].table
+
+    # -- WHERE normalization ---------------------------------------------------
+
+    def _walk_condition(self, condition: ast.Condition) -> None:
+        if isinstance(condition, ast.AndExpr):
+            for operand in condition.operands:
+                self._walk_condition(operand)
+            return
+        if isinstance(condition, ast.OrExpr):
+            self._handle_or(condition)
+            return
+        if isinstance(condition, ast.NotExpr):
+            self._handle_not(condition)
+            return
+        if isinstance(condition, ast.ChainedEquality):
+            self._handle_chain(condition)
+            return
+        if isinstance(condition, ast.BetweenExpr):
+            self._handle_between(condition)
+            return
+        if isinstance(condition, ast.InExpr):
+            self._handle_in(condition)
+            return
+        if isinstance(condition, ast.ComparisonExpr):
+            self._handle_comparison(condition)
+            return
+        raise SqlAnalysisError(f"unsupported condition {condition!r}")
+
+    def _handle_chain(self, chain: ast.ChainedEquality) -> None:
+        columns = [t for t in chain.terms if isinstance(t, ast.Column)]
+        constants = [t for t in chain.terms if not isinstance(t, ast.Column)]
+        if len(constants) > 1:
+            values = {self._value_of(c) for c in constants}
+            if len(values) > 1:
+                raise SqlAnalysisError("chained equality with conflicting constants")
+        refs = [self._scope.resolve(column) for column in columns]
+        if constants:
+            value = self._value_of(constants[0])
+            for ref in refs:
+                self._add_constraint(
+                    ref, AttributeConstraint(ref.column, value=value)
+                )
+        # Join every adjacent pair of distinct-table columns.
+        for left, right in zip(refs, refs[1:]):
+            if left.table.lower() == right.table.lower():
+                continue
+            self._joins.append(JoinPredicate(left, right))
+        if not constants and len(refs) < 2:
+            raise SqlAnalysisError("chained equality needs two or more terms")
+
+    def _handle_arithmetic_comparison(
+        self, comparison: ast.ComparisonExpr
+    ) -> None:
+        """``expr op expr`` with arithmetic on a side → residual filter.
+
+        Arithmetic cannot be pushed into a market call, so the predicate is
+        applied locally after retrieval; all referenced columns must belong
+        to a single table.
+        """
+        left = self._resolve_scalar(comparison.left)
+        right = self._resolve_scalar(comparison.right)
+        expression = Comparison(comparison.op, left, right)
+        tables = {ref.table.lower() for ref in expression.columns()}
+        if not tables:
+            raise SqlAnalysisError("comparison between two constants")
+        if len(tables) > 1:
+            raise SqlAnalysisError(
+                "arithmetic predicates across tables are not supported"
+            )
+        table = expression.columns()[0].table
+        self._add_residual(table, expression)
+
+    def _handle_comparison(self, comparison: ast.ComparisonExpr) -> None:
+        left, right, op = comparison.left, comparison.right, comparison.op
+        if isinstance(left, ast.ArithExpr) or isinstance(right, ast.ArithExpr):
+            self._handle_arithmetic_comparison(comparison)
+            return
+        left_is_column = isinstance(left, ast.Column)
+        right_is_column = isinstance(right, ast.Column)
+        if left_is_column and right_is_column:
+            left_ref = self._scope.resolve(left)
+            right_ref = self._scope.resolve(right)
+            if left_ref.table.lower() == right_ref.table.lower():
+                self._add_residual(
+                    left_ref.table, Comparison(op, left_ref, right_ref)
+                )
+                return
+            if op != "=":
+                raise SqlAnalysisError(
+                    "only equi-joins between tables are supported"
+                )
+            self._joins.append(JoinPredicate(left_ref, right_ref))
+            return
+        if not left_is_column and not right_is_column:
+            raise SqlAnalysisError("comparison between two constants")
+        if right_is_column:
+            left, right = right, left
+            op = _FLIPPED[op]
+        ref = self._scope.resolve(left)
+        value = self._value_of(right)
+        self._classify_constant_comparison(ref, op, value)
+
+    def _classify_constant_comparison(
+        self, ref: ColumnRef, op: str, value: Any
+    ) -> None:
+        attribute_type = self._scope.attribute_type(ref)
+        if op == "=":
+            self._add_constraint(ref, AttributeConstraint(ref.column, value=value))
+            return
+        rangeable = attribute_type in (AttributeType.INT, AttributeType.DATE)
+        if op == "!=" or not rangeable:
+            # Not pushable to the market — keep as a local residual filter.
+            self._add_residual(
+                ref.table, Comparison(op, ref, Literal(value))
+            )
+            return
+        value = int(value)
+        if op == ">=":
+            constraint = AttributeConstraint(ref.column, low=value)
+        elif op == ">":
+            constraint = AttributeConstraint(ref.column, low=value + 1)
+        elif op == "<=":
+            constraint = AttributeConstraint(ref.column, high=value + 1)
+        else:  # "<"
+            constraint = AttributeConstraint(ref.column, high=value)
+        self._add_constraint(ref, constraint)
+
+    def _handle_between(self, between: ast.BetweenExpr) -> None:
+        ref = self._scope.resolve(between.column)
+        low = self._value_of(between.low)
+        high = self._value_of(between.high)
+        attribute_type = self._scope.attribute_type(ref)
+        if attribute_type in (AttributeType.INT, AttributeType.DATE):
+            self._add_constraint(
+                ref,
+                AttributeConstraint(ref.column, low=int(low), high=int(high) + 1),
+            )
+            return
+        self._add_residual(
+            ref.table,
+            Comparison(">=", ref, Literal(low)),
+        )
+        self._add_residual(
+            ref.table,
+            Comparison("<=", ref, Literal(high)),
+        )
+
+    def _handle_in(self, in_expr: ast.InExpr) -> None:
+        ref = self._scope.resolve(in_expr.column)
+        values = frozenset(self._value_of(term) for term in in_expr.values)
+        self._add_constraint(ref, AttributeConstraint(ref.column, values=values))
+
+    def _handle_or(self, or_expr: ast.OrExpr) -> None:
+        """Accept only ``col = c1 OR col = c2 ...`` on a single column."""
+        values: set[Any] = set()
+        ref: ColumnRef | None = None
+        for operand in or_expr.operands:
+            if (
+                not isinstance(operand, ast.ComparisonExpr)
+                or operand.op != "="
+            ):
+                raise SqlAnalysisError(
+                    "only same-column equality disjunctions are supported "
+                    "(the data market cannot express general OR)"
+                )
+            left, right = operand.left, operand.right
+            if isinstance(right, ast.Column) and not isinstance(left, ast.Column):
+                left, right = right, left
+            if not isinstance(left, ast.Column) or isinstance(right, ast.Column):
+                raise SqlAnalysisError(
+                    "OR operands must compare a column with a constant"
+                )
+            resolved = self._scope.resolve(left)
+            if ref is None:
+                ref = resolved
+            elif (ref.table.lower(), ref.column.lower()) != (
+                resolved.table.lower(),
+                resolved.column.lower(),
+            ):
+                raise SqlAnalysisError(
+                    "OR across different columns is not supported"
+                )
+            values.add(self._value_of(right))
+        assert ref is not None
+        self._add_constraint(
+            ref, AttributeConstraint(ref.column, values=frozenset(values))
+        )
+
+    def _handle_not(self, not_expr: ast.NotExpr) -> None:
+        """NOT over a single-table predicate becomes a residual filter."""
+        inner = not_expr.operand
+        if isinstance(inner, ast.ComparisonExpr):
+            left, right, op = inner.left, inner.right, inner.op
+            if isinstance(left, ast.Column) and not isinstance(right, ast.Column):
+                ref = self._scope.resolve(left)
+                self._add_residual(
+                    ref.table,
+                    Not(Comparison(op, ref, Literal(self._value_of(right)))),
+                )
+                return
+        if isinstance(inner, ast.InExpr):
+            ref = self._scope.resolve(inner.column)
+            values = frozenset(self._value_of(t) for t in inner.values)
+            self._add_residual(ref.table, Not(InList(ref, values)))
+            return
+        raise SqlAnalysisError("unsupported NOT expression")
+
+    # -- outputs ----------------------------------------------------------------
+
+    def _resolve_scalar(self, expr: ast.ScalarExpr) -> Expression:
+        """Resolve a scalar expression (aggregate argument or predicate side)."""
+        if isinstance(expr, ast.Column):
+            return self._scope.resolve(expr)
+        if isinstance(expr, ast.ArithExpr):
+            from repro.relational.expressions import Arithmetic
+
+            return Arithmetic(
+                expr.op,
+                self._resolve_scalar(expr.left),
+                self._resolve_scalar(expr.right),
+            )
+        # A constant or a ? parameter.
+        return Literal(self._value_of(expr))
+
+    def _analyze_outputs(self) -> list[OutputColumn]:
+        outputs: list[OutputColumn] = []
+        for index, item in enumerate(self._statement.items):
+            if item.aggregate_func is not None:
+                arg_expression = None
+                if item.aggregate_arg is not None:
+                    arg_expression = self._resolve_scalar(item.aggregate_arg)
+                alias = item.alias or self._default_alias(item, index)
+                outputs.append(
+                    OutputColumn(
+                        aggregate=Aggregate(
+                            item.aggregate_func, arg_expression, alias
+                        )
+                    )
+                )
+            else:
+                outputs.append(OutputColumn(column=self._scope.resolve(item.column)))
+        return outputs
+
+    @staticmethod
+    def _default_alias(item: ast.SelectItem, index: int) -> str:
+        if item.aggregate_arg is None:
+            return f"{item.aggregate_func.lower()}_all"
+        if isinstance(item.aggregate_arg, ast.Column):
+            return (
+                f"{item.aggregate_func.lower()}_"
+                f"{item.aggregate_arg.name.lower()}"
+            )
+        # Arithmetic argument: index-based alias keeps the layout unambiguous.
+        return f"{item.aggregate_func.lower()}_expr{index}"
+
+    # -- HAVING -------------------------------------------------------------------
+
+    def _having_term(
+        self, term: ast.Term, outputs: list[OutputColumn]
+    ) -> Expression:
+        if isinstance(term, ast.AggregateTerm):
+            arg_expression = (
+                self._resolve_scalar(term.arg) if term.arg is not None else None
+            )
+            for output in outputs:
+                aggregate = output.aggregate
+                if aggregate is None or aggregate.func != term.func:
+                    continue
+                if aggregate.arg is None and arg_expression is None:
+                    return ColumnRef(None, aggregate.alias)
+                if (
+                    aggregate.arg is not None
+                    and arg_expression is not None
+                    and repr(aggregate.arg) == repr(arg_expression)
+                ):
+                    return ColumnRef(None, aggregate.alias)
+            raise SqlAnalysisError(
+                "HAVING aggregates must also appear in the SELECT list"
+            )
+        if isinstance(term, ast.Column):
+            return self._scope.resolve(term)
+        return Literal(self._value_of(term))
+
+    def _analyze_having(
+        self, condition: ast.Condition, outputs: list[OutputColumn]
+    ) -> Expression:
+        from repro.relational.expressions import And, Or
+
+        if isinstance(condition, ast.AndExpr):
+            return And(
+                tuple(
+                    self._analyze_having(op, outputs)
+                    for op in condition.operands
+                )
+            )
+        if isinstance(condition, ast.OrExpr):
+            return Or(
+                tuple(
+                    self._analyze_having(op, outputs)
+                    for op in condition.operands
+                )
+            )
+        if isinstance(condition, ast.NotExpr):
+            return Not(self._analyze_having(condition.operand, outputs))
+        if isinstance(condition, ast.ComparisonExpr):
+            return Comparison(
+                condition.op,
+                self._having_term(condition.left, outputs),
+                self._having_term(condition.right, outputs),
+            )
+        if isinstance(condition, ast.BetweenExpr):
+            raise SqlAnalysisError("BETWEEN is not supported in HAVING")
+        raise SqlAnalysisError("unsupported HAVING condition")
+
+    # -- entry point --------------------------------------------------------------
+
+    def analyze(self) -> LogicalQuery:
+        if self._statement.where is not None:
+            self._walk_condition(self._statement.where)
+        outputs = self._analyze_outputs()
+        group_by = [self._scope.resolve(c) for c in self._statement.group_by]
+        having = None
+        if self._statement.having is not None:
+            if not any(o.aggregate for o in outputs):
+                raise SqlAnalysisError("HAVING requires an aggregated query")
+            having = self._analyze_having(self._statement.having, outputs)
+        order_by = [self._scope.resolve(i.column) for i in self._statement.order_by]
+        descending = [i.descending for i in self._statement.order_by]
+        if group_by and not any(o.aggregate for o in outputs):
+            # SELECT col ... GROUP BY col with no aggregate — allowed, acts
+            # like DISTINCT on the group keys.
+            pass
+        return LogicalQuery(
+            tables=self._scope.table_names,
+            constraints=self._constraints,
+            residuals=self._residuals,
+            joins=self._joins,
+            outputs=outputs,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            order_descending=descending,
+            select_distinct=self._statement.distinct,
+            limit=self._statement.limit,
+        )
+
+
+def analyze(
+    statement: ast.SelectStatement,
+    provider: SchemaProvider,
+    params: Sequence[Any] = (),
+) -> LogicalQuery:
+    """Lower a parse tree to a :class:`LogicalQuery`."""
+    return _Analyzer(statement, provider, params).analyze()
+
+
+def compile_sql(
+    sql: str, provider: SchemaProvider, params: Sequence[Any] = ()
+) -> LogicalQuery:
+    """Parse and analyze ``sql`` in one step."""
+    return analyze(parse(sql), provider, params)

@@ -1,0 +1,156 @@
+"""Raw parse-tree nodes for the SQL subset PayLess accepts.
+
+These nodes mirror the surface syntax (they still contain ``?`` parameter
+markers and chained equalities); the analyzer lowers them to the
+:class:`~repro.relational.query.LogicalQuery` IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder; ``index`` is its zero-based occurrence order."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Column:
+    """A possibly-qualified column reference in the source text."""
+
+    table: str | None
+    name: str
+
+    def __repr__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class ArithExpr:
+    """Scalar arithmetic: ``left <op> right`` with op in + - * /."""
+
+    op: str
+    left: "ScalarExpr"
+    right: "ScalarExpr"
+
+
+#: A scalar expression usable as an aggregate argument: a column, a numeric
+#: constant, or arithmetic over them (``ExtendedPrice * Discount``).
+ScalarExpr = Column | ArithExpr | int | float
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """An aggregate call used as a scalar term (only valid in HAVING)."""
+
+    func: str
+    arg: "ScalarExpr | None"  # None means COUNT(*)
+
+
+#: A scalar term in a predicate: a column, a literal constant, a parameter,
+#: or (in HAVING only) an aggregate call.
+Term = Column | Parameter | AggregateTerm | Any
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """``left <op> right`` — op in = != < <= > >=."""
+
+    op: str
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class ChainedEquality:
+    """``t1 = t2 = t3 ...`` as written in the paper's templates.
+
+    E.g. ``Station.Country = Weather.Country = ?`` (Table 1, Q3-Q5).
+    """
+
+    terms: tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class BetweenExpr:
+    """``column BETWEEN low AND high`` (inclusive both ends)."""
+
+    column: Column
+    low: Term
+    high: Term
+
+
+@dataclass(frozen=True)
+class InExpr:
+    """``column IN (v1, v2, ...)``."""
+
+    column: Column
+    values: tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    operands: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    operands: tuple["Condition", ...]
+
+
+Condition = (
+    ComparisonExpr | ChainedEquality | BetweenExpr | InExpr | NotExpr | AndExpr | OrExpr
+)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list item: a column or an aggregate call, with alias."""
+
+    column: Column | None = None
+    aggregate_func: str | None = None
+    #: Aggregate argument; None + func=COUNT means COUNT(*).
+    aggregate_arg: "ScalarExpr | None" = None
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry ``name [alias]``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: Column
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """The full parse tree of one SELECT statement."""
+
+    items: list[SelectItem]            # empty means SELECT *
+    tables: list[TableRef] = field(default_factory=list)
+    where: Condition | None = None
+    group_by: list[Column] = field(default_factory=list)
+    having: Condition | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    limit: int | None = None
+    parameter_count: int = 0

@@ -1,0 +1,142 @@
+"""A hand-rolled SQL tokenizer.
+
+Handles identifiers (optionally ``table.column`` qualified — the dot is a
+separate token), integer/float literals, single-quoted strings with ``''``
+escaping, comparison operators, parentheses, commas, ``*``, ``?`` parameter
+placeholders, and ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_STARTS = "<>=!"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char == "'":
+            index = _lex_string(sql, index, tokens)
+            continue
+        if char.isdigit() or (
+            char == "-"
+            and index + 1 < length
+            and sql[index + 1].isdigit()
+            and _negative_allowed(tokens)
+        ):
+            index = _lex_number(sql, index, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            index = _lex_word(sql, index, tokens)
+            continue
+        if char in _OPERATOR_STARTS:
+            index = _lex_operator(sql, index, tokens)
+            continue
+        simple = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            "+": TokenType.PLUS,
+            "-": TokenType.MINUS,
+            "/": TokenType.SLASH,
+            "?": TokenType.PARAMETER,
+        }.get(char)
+        if simple is None:
+            raise SqlSyntaxError(f"unexpected character {char!r}", index)
+        tokens.append(Token(simple, char, index))
+        index += 1
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _negative_allowed(tokens: list[Token]) -> bool:
+    """A ``-`` starts a negative literal only after an operator/keyword/(/,."""
+    if not tokens:
+        return True
+    return tokens[-1].type in (
+        TokenType.OPERATOR,
+        TokenType.KEYWORD,
+        TokenType.LPAREN,
+        TokenType.COMMA,
+    )
+
+
+def _lex_string(sql: str, start: int, tokens: list[Token]) -> int:
+    index = start + 1
+    pieces: list[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if sql.startswith("''", index):
+                pieces.append("'")
+                index += 2
+                continue
+            tokens.append(Token(TokenType.STRING, "".join(pieces), start))
+            return index + 1
+        pieces.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _lex_number(sql: str, start: int, tokens: list[Token]) -> int:
+    index = start
+    if sql[index] == "-":
+        index += 1
+    while index < len(sql) and sql[index].isdigit():
+        index += 1
+    is_float = False
+    if (
+        index < len(sql)
+        and sql[index] == "."
+        and index + 1 < len(sql)
+        and sql[index + 1].isdigit()
+    ):
+        is_float = True
+        index += 1
+        while index < len(sql) and sql[index].isdigit():
+            index += 1
+    text = sql[start:index]
+    value = float(text) if is_float else int(text)
+    tokens.append(Token(TokenType.NUMBER, value, start))
+    return index
+
+
+def _lex_word(sql: str, start: int, tokens: list[Token]) -> int:
+    index = start
+    while index < len(sql) and (sql[index].isalnum() or sql[index] == "_"):
+        index += 1
+    word = sql[start:index]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        tokens.append(Token(TokenType.KEYWORD, upper, start))
+    else:
+        tokens.append(Token(TokenType.IDENTIFIER, word, start))
+    return index
+
+
+def _lex_operator(sql: str, start: int, tokens: list[Token]) -> int:
+    two = sql[start : start + 2]
+    if two in ("<=", ">=", "!=", "<>"):
+        value = "!=" if two == "<>" else two
+        tokens.append(Token(TokenType.OPERATOR, value, start))
+        return start + 2
+    one = sql[start]
+    if one in ("<", ">", "="):
+        tokens.append(Token(TokenType.OPERATOR, one, start))
+        return start + 1
+    raise SqlSyntaxError(f"unexpected character {one!r}", start)

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for the PayLess SQL subset.
+
+Grammar (roughly)::
+
+    select    := SELECT [DISTINCT] items FROM tables [WHERE cond]
+                 [GROUP BY cols] [ORDER BY order_items] [LIMIT n]
+    items     := '*' | item (',' item)*
+    item      := column [AS ident] | func '(' (column | '*') ')' [AS ident]
+    cond      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := unary (AND unary)*
+    unary     := NOT unary | '(' cond ')' | predicate
+    predicate := term (op term)+            -- chains of '=' are kept chained
+               | column BETWEEN term AND term
+               | column IN '(' term (',' term)* ')'
+    term      := column | literal | '?'
+
+Chained equality (``a = b = ?``) is first-class because the paper's query
+templates (Table 1) are written that way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.ast import (
+    AggregateTerm,
+    AndExpr,
+    ArithExpr,
+    BetweenExpr,
+    ChainedEquality,
+    Column,
+    ComparisonExpr,
+    Condition,
+    InExpr,
+    NotExpr,
+    OrExpr,
+    OrderItem,
+    Parameter,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    Term,
+)
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import Token, TokenType
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._tokens = tokenize(sql)
+        self._position = 0
+        self._parameter_count = 0
+        self._in_having = False
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._position += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: Any = None) -> Token:
+        token = self._current
+        if token.type is not token_type or (value is not None and token.value != value):
+            wanted = value if value is not None else token_type.value
+            raise SqlSyntaxError(
+                f"expected {wanted}, found {token.value!r}", token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._current.matches_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {self._current.value!r}",
+                self._current.position,
+            )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._select_items()
+        self._expect_keyword("FROM")
+        tables, join_conditions = self._from_clause()
+
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._condition()
+        # Explicit JOIN ... ON conditions are sugar: fold them into WHERE.
+        if join_conditions:
+            operands = tuple(join_conditions) + (
+                (where,) if where is not None else ()
+            )
+            where = operands[0] if len(operands) == 1 else AndExpr(operands)
+
+        group_by: list[Column] = []
+        having = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._column_list()
+            if self._accept_keyword("HAVING"):
+                self._in_having = True
+                having = self._condition()
+                self._in_having = False
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._order_items()
+
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            if not isinstance(token.value, int) or token.value < 0:
+                raise SqlSyntaxError("LIMIT must be a non-negative integer",
+                                     token.position)
+            limit = token.value
+
+        if self._current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._current.value!r}",
+                self._current.position,
+            )
+        return SelectStatement(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            distinct=distinct,
+            limit=limit,
+            parameter_count=self._parameter_count,
+        )
+
+    def _select_items(self) -> list[SelectItem]:
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            return []
+        items = [self._select_item()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self._current
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            func, arg = self._aggregate_call()
+            alias = self._alias()
+            return SelectItem(aggregate_func=func, aggregate_arg=arg, alias=alias)
+        column = self._column()
+        alias = self._alias()
+        return SelectItem(column=column, alias=alias)
+
+    def _aggregate_call(self):
+        """``FUNC ( * | scalar_expression )`` — shared by SELECT and HAVING."""
+        token = self._current
+        func = self._advance().value
+        self._expect(TokenType.LPAREN)
+        if self._current.type is TokenType.STAR and self._peek_is_rparen():
+            self._advance()
+            arg = None
+            if func != "COUNT":
+                raise SqlSyntaxError(f"{func}(*) is not valid", token.position)
+        else:
+            arg = self._scalar_expression()
+        self._expect(TokenType.RPAREN)
+        return func, arg
+
+    def _peek_is_rparen(self) -> bool:
+        return self._tokens[self._position + 1].type is TokenType.RPAREN
+
+    # -- scalar arithmetic (aggregate arguments) ------------------------------
+
+    def _scalar_expression(self):
+        expression = self._scalar_term()
+        while self._current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._current.type is TokenType.PLUS else "-"
+            self._advance()
+            expression = ArithExpr(op, expression, self._scalar_term())
+        return expression
+
+    def _scalar_term(self):
+        expression = self._scalar_atom()
+        while self._current.type in (TokenType.STAR, TokenType.SLASH):
+            op = "*" if self._current.type is TokenType.STAR else "/"
+            self._advance()
+            expression = ArithExpr(op, expression, self._scalar_atom())
+        return expression
+
+    def _scalar_atom(self):
+        token = self._current
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._scalar_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return token.value
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = Parameter(self._parameter_count)
+            self._parameter_count += 1
+            return parameter
+        if token.type is TokenType.MINUS:
+            self._advance()
+            inner = self._scalar_atom()
+            return ArithExpr("-", 0, inner)
+        if token.type is TokenType.IDENTIFIER:
+            return self._column()
+        raise SqlSyntaxError(
+            f"expected a scalar expression, found {token.value!r}",
+            token.position,
+        )
+
+    def _alias(self) -> str | None:
+        if self._accept_keyword("AS"):
+            return self._expect(TokenType.IDENTIFIER).value
+        if self._current.type is TokenType.IDENTIFIER:
+            return self._advance().value
+        return None
+
+    def _from_clause(self) -> tuple[list[TableRef], list[Condition]]:
+        """FROM with both comma-joins and explicit ``[INNER] JOIN ... ON``.
+
+        The ON conditions are returned separately and folded into WHERE —
+        in this SQL subset every join is an inner equi-join either way.
+        """
+        tables = [self._table_ref()]
+        join_conditions: list[Condition] = []
+        while True:
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                tables.append(self._table_ref())
+                continue
+            if self._current.matches_keyword("INNER") or \
+                    self._current.matches_keyword("JOIN"):
+                self._accept_keyword("INNER")
+                self._expect_keyword("JOIN")
+                tables.append(self._table_ref())
+                self._expect_keyword("ON")
+                join_conditions.append(self._unary())
+                while self._accept_keyword("AND"):
+                    join_conditions.append(self._unary())
+                continue
+            return tables, join_conditions
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias = None
+        if self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _column_list(self) -> list[Column]:
+        columns = [self._column()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            columns.append(self._column())
+        return columns
+
+    def _order_items(self) -> list[OrderItem]:
+        items = [self._order_item()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        column = self._column()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(column=column, descending=descending)
+
+    def _column(self) -> Column:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENTIFIER).value
+            return Column(table=first, name=second)
+        return Column(table=None, name=first)
+
+    # -- conditions ----------------------------------------------------------
+
+    def _condition(self) -> Condition:
+        return self._or_expr()
+
+    def _or_expr(self) -> Condition:
+        operands = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def _and_expr(self) -> Condition:
+        operands = [self._unary()]
+        while self._accept_keyword("AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def _unary(self) -> Condition:
+        if self._accept_keyword("NOT"):
+            return NotExpr(self._unary())
+        if self._current.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._condition()
+            self._expect(TokenType.RPAREN)
+            return inner
+        return self._predicate()
+
+    def _scalar_continue(self, first):
+        """Continue scalar parsing when an already-read term is followed by
+        arithmetic (``a * b + c ...``), honouring precedence."""
+        expression = first
+        while self._current.type in (TokenType.STAR, TokenType.SLASH):
+            op = "*" if self._current.type is TokenType.STAR else "/"
+            self._advance()
+            expression = ArithExpr(op, expression, self._scalar_atom())
+        while self._current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._current.type is TokenType.PLUS else "-"
+            self._advance()
+            expression = ArithExpr(op, expression, self._scalar_term())
+        return expression
+
+    def _predicate_operand(self) -> Term:
+        """A predicate side: a plain term, possibly extended arithmetically."""
+        term = self._term()
+        if self._current.type in (
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+        ):
+            return self._scalar_continue(term)
+        return term
+
+    def _predicate(self) -> Condition:
+        left = self._predicate_operand()
+        token = self._current
+        if token.matches_keyword("BETWEEN"):
+            if not isinstance(left, Column):
+                raise SqlSyntaxError("BETWEEN needs a column on its left",
+                                     token.position)
+            self._advance()
+            low = self._term()
+            self._expect_keyword("AND")
+            high = self._term()
+            return BetweenExpr(column=left, low=low, high=high)
+        if token.matches_keyword("IN"):
+            if not isinstance(left, Column):
+                raise SqlSyntaxError("IN needs a column on its left", token.position)
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            values = [self._term()]
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                values.append(self._term())
+            self._expect(TokenType.RPAREN)
+            return InExpr(column=left, values=tuple(values))
+        if token.type is not TokenType.OPERATOR:
+            raise SqlSyntaxError(
+                f"expected a comparison operator, found {token.value!r}",
+                token.position,
+            )
+        op = self._advance().value
+        right = self._predicate_operand()
+        if op == "=" and self._current.type is TokenType.OPERATOR \
+                and self._current.value == "=":
+            terms: list[Term] = [left, right]
+            while self._current.type is TokenType.OPERATOR \
+                    and self._current.value == "=":
+                self._advance()
+                terms.append(self._term())
+            return ChainedEquality(tuple(terms))
+        return ComparisonExpr(op=op, left=left, right=right)
+
+    def _term(self) -> Term:
+        token = self._current
+        if (
+            self._in_having
+            and token.type is TokenType.KEYWORD
+            and token.value in _AGGREGATES
+        ):
+            func, arg = self._aggregate_call()
+            return AggregateTerm(func=func, arg=arg)
+        if token.type is TokenType.IDENTIFIER:
+            return self._column()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return token.value
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = Parameter(self._parameter_count)
+            self._parameter_count += 1
+            return parameter
+        raise SqlSyntaxError(f"expected a value, found {token.value!r}",
+                             token.position)
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse ``sql`` into a :class:`SelectStatement` parse tree."""
+    return _Parser(sql).parse()

@@ -1,0 +1,51 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # = != < <= > >=
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"              # '*' — SELECT-list star and multiplication
+    PLUS = "plus"
+    MINUS = "minus"
+    SLASH = "slash"
+    PARAMETER = "parameter"    # ?
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser (upper-cased by the lexer).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "ORDER", "LIMIT", "AND", "OR", "NOT", "AS", "BETWEEN", "IN",
+        "ASC", "DESC", "COUNT", "SUM", "AVG", "MIN", "MAX",
+        "JOIN", "INNER", "ON",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"

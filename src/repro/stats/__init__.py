@@ -1,0 +1,34 @@
+"""Statistics: catalog, estimators, and pluggable updatable statistics."""
+
+from repro.stats.catalog import Catalog, TableStatistics
+from repro.stats.estimator import (
+    estimate_box,
+    estimate_boxes,
+    estimate_constraints,
+    estimate_distinct,
+    transactions_for_estimate,
+)
+from repro.stats.interface import (
+    STATISTIC_FACTORIES,
+    UpdatableStatistic,
+    make_statistic,
+)
+from repro.stats.isomer import DEFAULT_MAX_BOXES, FeedbackHistogram
+from repro.stats.onedim import IndependenceHistogram, UniformStatistic
+
+__all__ = [
+    "Catalog",
+    "DEFAULT_MAX_BOXES",
+    "FeedbackHistogram",
+    "IndependenceHistogram",
+    "STATISTIC_FACTORIES",
+    "TableStatistics",
+    "UniformStatistic",
+    "UpdatableStatistic",
+    "estimate_box",
+    "estimate_boxes",
+    "estimate_constraints",
+    "estimate_distinct",
+    "make_statistic",
+    "transactions_for_estimate",
+]

@@ -1,0 +1,76 @@
+"""The metadata catalog: what PayLess knows about every table.
+
+At registration time the only knowledge is the market's *basic statistics*
+(cardinality + per-attribute domains, Section 2.1).  The catalog pairs those
+with the table's :class:`BoxSpace` and a feedback histogram that learns from
+every executed call (Section 4.3: start from the uniform assumption, refine
+with feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StatisticsError
+from repro.market.dataset import BasicStatistics
+from repro.relational.schema import Domain, Schema
+from repro.semstore.space import BoxSpace
+from repro.stats.interface import UpdatableStatistic, make_statistic
+
+
+@dataclass
+class TableStatistics:
+    """Everything the optimizer can ask about one table."""
+
+    table: str
+    schema: Schema
+    cardinality: int
+    space: BoxSpace
+    histogram: UpdatableStatistic
+
+    def domain_size(self, attribute: str) -> int:
+        """Number of distinct values the attribute's axis can take."""
+        index = self.space.dimension_index(attribute)
+        if index is None:
+            raise StatisticsError(
+                f"{self.table}: {attribute!r} is not a dimension"
+            )
+        dimension = self.space.dimensions[index]
+        return dimension.high - dimension.low
+
+
+class Catalog:
+    """Name → :class:`TableStatistics` registry."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStatistics] = {}
+
+    def register(
+        self,
+        table: str,
+        schema: Schema,
+        space: BoxSpace,
+        statistics: BasicStatistics,
+        statistic: str = "isomer",
+    ) -> TableStatistics:
+        key = table.lower()
+        if key in self._tables:
+            raise StatisticsError(f"table {table!r} already in catalog")
+        entry = TableStatistics(
+            table=table,
+            schema=schema,
+            cardinality=statistics.cardinality,
+            space=space,
+            histogram=make_statistic(statistic, space, statistics.cardinality),
+        )
+        self._tables[key] = entry
+        return entry
+
+    def statistics(self, table: str) -> TableStatistics:
+        try:
+            return self._tables[table.lower()]
+        except KeyError:
+            raise StatisticsError(f"table {table!r} not in catalog") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables

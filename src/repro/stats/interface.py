@@ -1,0 +1,76 @@
+"""The updatable-statistic interface PayLess plugs into.
+
+Section 3 of the paper: "PayLess is indeed amenable for any updatable
+statistic.  As our focus ... is to give a proof-of-concept first solution,
+we will test other updatable statistics (e.g., [25]) in place of ISOMER in
+the next version."  This module defines that plug point: anything with
+``estimate`` / ``observe`` / ``cardinality`` can drive the optimizer, and
+:data:`STATISTIC_FACTORIES` registers the built-in choices:
+
+* ``"isomer"`` — the default multidimensional feedback histogram
+  (:class:`~repro.stats.isomer.FeedbackHistogram`);
+* ``"independence"`` — per-dimension 1-d feedback histograms combined under
+  the attribute-independence assumption (a JIT-statistics-style baseline);
+* ``"uniform"`` — never learns; pure textbook uniform estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import StatisticsError
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace
+
+
+class UpdatableStatistic(Protocol):
+    """What the optimizer and executor require from a statistic."""
+
+    cardinality: int
+    feedback_count: int
+
+    def estimate(self, box: Box) -> float: ...
+
+    def observe(self, box: Box, actual_count: int) -> None: ...
+
+    def estimate_full(self) -> float: ...
+
+
+StatisticFactory = Callable[[BoxSpace, int], UpdatableStatistic]
+
+
+def make_statistic(kind: str, space: BoxSpace, cardinality: int):
+    """Instantiate a registered statistic by name."""
+    try:
+        factory = STATISTIC_FACTORIES[kind]
+    except KeyError:
+        raise StatisticsError(
+            f"unknown statistic {kind!r}; choose from "
+            f"{sorted(STATISTIC_FACTORIES)}"
+        ) from None
+    return factory(space, cardinality)
+
+
+def _isomer(space: BoxSpace, cardinality: int):
+    from repro.stats.isomer import FeedbackHistogram
+
+    return FeedbackHistogram(space, cardinality)
+
+
+def _independence(space: BoxSpace, cardinality: int):
+    from repro.stats.onedim import IndependenceHistogram
+
+    return IndependenceHistogram(space, cardinality)
+
+
+def _uniform(space: BoxSpace, cardinality: int):
+    from repro.stats.onedim import UniformStatistic
+
+    return UniformStatistic(space, cardinality)
+
+
+STATISTIC_FACTORIES: dict[str, StatisticFactory] = {
+    "isomer": _isomer,
+    "independence": _independence,
+    "uniform": _uniform,
+}

@@ -1,0 +1,139 @@
+"""An ISOMER-style feedback histogram over a table's box space.
+
+The paper plugs ISOMER [Srivastava et al., ICDE'06] into PayLess as its
+updatable statistic: cardinality estimates start from the textbook uniform
+assumption over published domains and become *consistent with every observed
+query result* as feedback arrives.  This module implements that contract
+with an STHoles-flavoured structure that is simpler than full ISOMER's
+iterative-scaling solver but preserves the property the optimizer needs:
+
+* the table's total cardinality is known and fixed;
+* a set of disjoint *refined boxes* carries exact observed counts;
+* everything outside the refined region follows the maximum-entropy choice —
+  the residual count spread uniformly over the residual volume.
+
+Feedback with a region that overlaps existing refined boxes splits those
+boxes, apportioning their counts by volume (the max-entropy assumption
+within a box), then records the new region exactly — so re-estimating any
+previously observed region returns its observed count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StatisticsError
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace
+
+#: Soft cap on refined boxes; beyond it the smallest fragments are folded
+#: back into the uniform residual to bound estimation cost (each estimate
+#: is linear in this count, and Algorithm 1 estimates many boxes).
+DEFAULT_MAX_BOXES = 512
+
+
+@dataclass
+class _Refined:
+    box: Box
+    count: float
+
+
+class FeedbackHistogram:
+    """Uniform-until-observed cardinality estimates for one table."""
+
+    def __init__(
+        self,
+        space: BoxSpace,
+        cardinality: int,
+        max_boxes: int = DEFAULT_MAX_BOXES,
+    ):
+        if cardinality < 0:
+            raise StatisticsError("cardinality cannot be negative")
+        if max_boxes < 1:
+            raise StatisticsError("max_boxes must be positive")
+        self.space = space
+        self.cardinality = cardinality
+        self.max_boxes = max_boxes
+        self._refined: list[_Refined] = []
+        self.feedback_count = 0
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate(self, box: Box) -> float:
+        """Estimated number of tuples inside ``box``."""
+        full = self.space.full_box
+        query = full.intersect(box)
+        if query is None:
+            return 0.0
+        estimate = 0.0
+        refined_volume = 0
+        refined_count = 0.0
+        query_refined_volume = 0
+        for refined in self._refined:
+            refined_volume += refined.box.volume()
+            refined_count += refined.count
+            overlap = query.intersect(refined.box)
+            if overlap is not None:
+                overlap_volume = overlap.volume()
+                query_refined_volume += overlap_volume
+                estimate += refined.count * overlap_volume / refined.box.volume()
+        residual_count = max(self.cardinality - refined_count, 0.0)
+        residual_volume = full.volume() - refined_volume
+        query_residual_volume = query.volume() - query_refined_volume
+        if residual_volume > 0 and query_residual_volume > 0:
+            estimate += residual_count * query_residual_volume / residual_volume
+        return estimate
+
+    def estimate_full(self) -> float:
+        return self.estimate(self.space.full_box)
+
+    # -- feedback -------------------------------------------------------------
+
+    def observe(self, box: Box, actual_count: int) -> None:
+        """Record that ``box`` was observed to contain ``actual_count`` tuples.
+
+        Existing refined boxes overlapping ``box`` are split; the piece
+        inside ``box`` is discarded (superseded by the exact observation)
+        and the outside pieces keep a volume-proportional share of the old
+        count.
+        """
+        if actual_count < 0:
+            raise StatisticsError("observed count cannot be negative")
+        full = self.space.full_box
+        observed = full.intersect(box)
+        if observed is None:
+            return
+        survivors: list[_Refined] = []
+        for refined in self._refined:
+            overlap = refined.box.intersect(observed)
+            if overlap is None:
+                survivors.append(refined)
+                continue
+            outside_pieces = refined.box.subtract(observed)
+            old_volume = refined.box.volume()
+            for piece in outside_pieces:
+                survivors.append(
+                    _Refined(
+                        box=piece,
+                        count=refined.count * piece.volume() / old_volume,
+                    )
+                )
+        survivors.append(_Refined(box=observed, count=float(actual_count)))
+        self._refined = survivors
+        self.feedback_count += 1
+        if len(self._refined) > self.max_boxes:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Fold the smallest fragments back into the uniform residual."""
+        self._refined.sort(key=lambda refined: refined.box.volume(), reverse=True)
+        self._refined = self._refined[: self.max_boxes // 2]
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def refined_box_count(self) -> int:
+        return len(self._refined)
+
+    def refined_total(self) -> float:
+        return sum(refined.count for refined in self._refined)

@@ -1,0 +1,120 @@
+"""Alternative updatable statistics: independence-assumption and uniform.
+
+Two simpler statistics to plug into PayLess's learning loop in place of the
+default multidimensional feedback histogram (see
+:mod:`repro.stats.interface`):
+
+* :class:`IndependenceHistogram` keeps one *1-d* feedback histogram per
+  dimension and combines the marginals under the textbook
+  attribute-independence assumption.  It learns from feedback whose region
+  spans the full domain on every other dimension (an exact marginal
+  observation); partial feedback refines nothing — which is exactly the
+  blind spot of per-attribute JIT statistics that motivates ISOMER-style
+  multidimensional structures.
+* :class:`UniformStatistic` never learns at all — the pure Section 4.3
+  cold-start estimator, useful as an ablation floor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StatisticsError
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace, Dimension
+from repro.stats.isomer import FeedbackHistogram
+
+
+def _marginal_space(table: str, dimension: Dimension) -> BoxSpace:
+    return BoxSpace(table=f"{table}:{dimension.attribute}", dimensions=[dimension])
+
+
+class IndependenceHistogram:
+    """Per-dimension marginals combined under independence."""
+
+    def __init__(self, space: BoxSpace, cardinality: int):
+        if cardinality < 0:
+            raise StatisticsError("cardinality cannot be negative")
+        self.space = space
+        self.cardinality = cardinality
+        self.feedback_count = 0
+        self._marginals = [
+            FeedbackHistogram(_marginal_space(space.table, dimension), cardinality)
+            for dimension in space.dimensions
+        ]
+
+    def estimate(self, box: Box) -> float:
+        full = self.space.full_box
+        query = full.intersect(box)
+        if query is None:
+            return 0.0
+        if self.cardinality == 0:
+            return 0.0
+        estimate = float(self.cardinality)
+        for marginal, extent in zip(self._marginals, query.extents):
+            fraction = marginal.estimate(Box((extent,))) / self.cardinality
+            estimate *= max(min(fraction, 1.0), 0.0)
+        return estimate
+
+    def estimate_full(self) -> float:
+        return self.estimate(self.space.full_box)
+
+    def observe(self, box: Box, actual_count: int) -> None:
+        """Learn only from exact marginal observations.
+
+        A region that spans the whole domain on every dimension but one
+        pins down that dimension's marginal exactly; anything else would
+        require cross-dimension reasoning this statistic cannot do.
+        """
+        if actual_count < 0:
+            raise StatisticsError("observed count cannot be negative")
+        full = self.space.full_box
+        observed = full.intersect(box)
+        if observed is None:
+            return
+        partial_axes = [
+            axis
+            for axis, (extent, full_extent) in enumerate(
+                zip(observed.extents, full.extents)
+            )
+            if extent != full_extent
+        ]
+        self.feedback_count += 1
+        if len(partial_axes) == 0:
+            # Whole-table observation: correct the cardinality everywhere.
+            self.cardinality = actual_count
+            for marginal in self._marginals:
+                marginal.cardinality = actual_count
+            return
+        if len(partial_axes) == 1:
+            axis = partial_axes[0]
+            self._marginals[axis].observe(
+                Box((observed.extents[axis],)), actual_count
+            )
+
+
+class UniformStatistic:
+    """The textbook uniform estimator; feedback is ignored."""
+
+    def __init__(self, space: BoxSpace, cardinality: int):
+        if cardinality < 0:
+            raise StatisticsError("cardinality cannot be negative")
+        self.space = space
+        self.cardinality = cardinality
+        self.feedback_count = 0
+
+    def estimate(self, box: Box) -> float:
+        full = self.space.full_box
+        query = full.intersect(box)
+        if query is None:
+            return 0.0
+        volume = full.volume()
+        if volume == 0:
+            return 0.0
+        return self.cardinality * query.volume() / volume
+
+    def estimate_full(self) -> float:
+        return float(self.cardinality)
+
+    def observe(self, box: Box, actual_count: int) -> None:
+        if actual_count < 0:
+            raise StatisticsError("observed count cannot be negative")
+        self.feedback_count += 1  # counted, but deliberately unused

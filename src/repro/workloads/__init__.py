@@ -1,0 +1,34 @@
+"""Workload generators: the paper's real-data workload and TPC-H (±skew)."""
+
+from repro.workloads.tpch import (
+    TEMPLATES as TPCH_TEMPLATES,
+    TpchConfig,
+    TpchInstanceGenerator,
+    TpchWorkloadData,
+    generate_tpch_workload,
+)
+from repro.workloads.weather import (
+    TEMPLATES as WEATHER_TEMPLATES,
+    QueryInstance,
+    WeatherConfig,
+    WeatherInstanceGenerator,
+    WeatherWorkloadData,
+    generate_weather_workload,
+)
+from repro.workloads.zipfian import ZipfSampler, skewed_choice
+
+__all__ = [
+    "QueryInstance",
+    "TPCH_TEMPLATES",
+    "TpchConfig",
+    "TpchInstanceGenerator",
+    "TpchWorkloadData",
+    "WEATHER_TEMPLATES",
+    "WeatherConfig",
+    "WeatherInstanceGenerator",
+    "WeatherWorkloadData",
+    "ZipfSampler",
+    "generate_tpch_workload",
+    "generate_weather_workload",
+    "skewed_choice",
+]

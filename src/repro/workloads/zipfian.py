@@ -1,0 +1,50 @@
+"""Zipf sampling for skewed data generation.
+
+The paper's skewed experiments use the Chaudhuri–Narasayya TPC-D skew
+generator with ``zipf = 1``; this module provides the same ingredient —
+rank ``k`` (1-based) drawn with probability proportional to ``1 / k^z``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Draws 0-based indices in ``[0, n)`` with Zipf(z) rank probabilities."""
+
+    def __init__(self, n: int, z: float, rng: random.Random):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if z < 0:
+            raise ValueError("z cannot be negative")
+        self._rng = rng
+        weights = [1.0 / (rank ** z) for rank in range(1, n + 1)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self) -> int:
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def choice(self, items: Sequence[T]) -> T:
+        return items[self.sample() % len(items)]
+
+
+def skewed_choice(
+    items: Sequence[T], z: float | None, rng: random.Random
+) -> T:
+    """Uniform choice when ``z`` is None, Zipf(z) rank-skewed otherwise.
+
+    The rank order is the sequence order, so callers control which items
+    are "hot" by how they sort ``items``.
+    """
+    if z is None:
+        return rng.choice(items)
+    weights = [1.0 / (rank ** z) for rank in range(1, len(items) + 1)]
+    return rng.choices(items, weights=weights, k=1)[0]

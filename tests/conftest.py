@@ -1,0 +1,98 @@
+"""Shared fixtures: a small deterministic weather market and buyer setup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BindingPattern,
+    Database,
+    DataMarket,
+    Dataset,
+    PayLess,
+    PricingPolicy,
+    Table,
+)
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+
+
+@pytest.fixture
+def mini_weather_market():
+    """A tiny WHW-like market: 2 countries, 6 stations, 10 days.
+
+    Station layout:
+      CountryA: Alpha (ids 1, 2), Beta (id 3), Gamma (id 4)
+      CountryB: Delta (ids 5, 6)
+    Weather: one row per station per day 1..10, Temperature = sid*10 + day.
+    """
+    countries = ["CountryA", "CountryB"]
+    cities = ["Alpha", "Beta", "Gamma", "Delta"]
+    stations = [
+        ("CountryA", 1, "Alpha"),
+        ("CountryA", 2, "Alpha"),
+        ("CountryA", 3, "Beta"),
+        ("CountryA", 4, "Gamma"),
+        ("CountryB", 5, "Delta"),
+        ("CountryB", 6, "Delta"),
+    ]
+    weather = [
+        (country, sid, day, float(sid * 10 + day))
+        for country, sid, __ in stations
+        for day in range(1, 11)
+    ]
+    station_schema = Schema(
+        [
+            Attribute("Country", T.STRING, Domain.categorical(countries)),
+            Attribute("StationID", T.INT, Domain.numeric(1, 6)),
+            Attribute("City", T.STRING, Domain.categorical(cities)),
+        ]
+    )
+    weather_schema = Schema(
+        [
+            Attribute("Country", T.STRING, Domain.categorical(countries)),
+            Attribute("StationID", T.INT, Domain.numeric(1, 6)),
+            Attribute("Date", T.DATE, Domain.numeric(1, 10)),
+            Attribute("Temperature", T.FLOAT),
+        ]
+    )
+    dataset = Dataset("WHW", PricingPolicy(tuples_per_transaction=10))
+    dataset.add_table(
+        Table("Station", station_schema, stations),
+        BindingPattern.parse("Station", "Countryf, StationIDf, Cityf"),
+    )
+    dataset.add_table(
+        Table("Weather", weather_schema, weather),
+        BindingPattern.parse("Weather", "Countryf, StationIDf, Datef"),
+    )
+    market = DataMarket()
+    market.publish(dataset)
+    return market
+
+
+@pytest.fixture
+def mini_payless(mini_weather_market):
+    """A registered PayLess installation over the mini market."""
+    payless = PayLess.full(mini_weather_market)
+    payless.register_dataset("WHW")
+    return payless
+
+
+@pytest.fixture
+def mini_payless_with_local(mini_weather_market):
+    """Same, plus a local CityInfo table mapping cities to zones."""
+    zipmap_schema = Schema(
+        [
+            Attribute("City", T.STRING),
+            Attribute("Zone", T.INT),
+        ]
+    )
+    local = Table(
+        "CityInfo",
+        zipmap_schema,
+        [("Alpha", 1), ("Beta", 1), ("Gamma", 2), ("Delta", 3)],
+    )
+    database = Database([local])
+    payless = PayLess.full(mini_weather_market, local_db=database)
+    payless.register_dataset("WHW")
+    return payless

@@ -1,0 +1,68 @@
+"""The hindsight advisor: per-table spend vs the bulk-download bound."""
+
+import pytest
+
+from repro.core.advisor import advise, report
+from repro.testing import registered_payless, tiny_weather_market
+
+
+@pytest.fixture
+def payless():
+    return registered_payless(tiny_weather_market())
+
+
+class TestAdvise:
+    def test_cold_start(self, payless):
+        advice = {a.table: a for a in advise(payless)}
+        assert set(advice) == {"Station", "Weather"}
+        assert advice["Weather"].spent_transactions == 0
+        assert advice["Weather"].download_cost == 4  # 40 rows at t=10
+        assert advice["Weather"].coverage == 0.0
+        assert "keep paying" in advice["Weather"].recommendation
+
+    def test_partial_session(self, payless):
+        payless.query("SELECT * FROM Weather WHERE Country = 'CountryA'")
+        advice = {a.table: a for a in advise(payless)}
+        weather = advice["Weather"]
+        assert weather.spent_transactions == 3  # 30 rows at t=10
+        assert 0.5 < weather.coverage < 1.0
+        assert not weather.crossed_break_even
+
+    def test_fully_cached(self, payless):
+        payless.query("SELECT * FROM Weather")
+        advice = {a.table: a for a in advise(payless)}
+        assert advice["Weather"].coverage == 1.0
+        assert "free" in advice["Weather"].recommendation
+
+    def test_break_even_crossed_by_fragmented_fetching(self, payless):
+        # Many tiny queries: each day of each country separately, paying
+        # one transaction per call, exceeding the 4-transaction download.
+        for country in ("CountryA", "CountryB"):
+            for day in range(1, 11):
+                payless.query(
+                    "SELECT * FROM Weather WHERE Country = ? AND Date = ?",
+                    (country, day),
+                )
+        advice = {a.table: a for a in advise(payless)}
+        weather = advice["Weather"]
+        assert weather.crossed_break_even
+        assert weather.coverage == 1.0  # but it's all cached now
+
+    def test_spend_bounded_after_coverage(self, payless):
+        """The advisor's core claim: coverage caps future spend."""
+        for country in ("CountryA", "CountryB"):
+            payless.query(
+                "SELECT * FROM Weather WHERE Country = ?", (country,)
+            )
+        before = payless.total_transactions
+        payless.query("SELECT * FROM Weather")
+        payless.query("SELECT * FROM Weather WHERE Date <= 5")
+        assert payless.total_transactions == before
+
+
+class TestReport:
+    def test_report_renders(self, payless):
+        payless.query("SELECT * FROM Station")
+        text = report(payless)
+        assert "Station" in text and "Weather" in text
+        assert "spent" in text and "download" in text

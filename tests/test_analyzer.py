@@ -1,0 +1,229 @@
+"""Unit tests for the SQL semantic analyzer."""
+
+import pytest
+
+from repro.errors import SqlAnalysisError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType as T
+from repro.sqlparser.analyzer import compile_sql
+
+
+class Provider:
+    """A minimal SchemaProvider for analyzer tests."""
+
+    def __init__(self):
+        self.schemas = {
+            "station": Schema(
+                [
+                    Attribute("Country", T.STRING),
+                    Attribute("StationID", T.INT),
+                    Attribute("City", T.STRING),
+                ]
+            ),
+            "weather": Schema(
+                [
+                    Attribute("Country", T.STRING),
+                    Attribute("StationID", T.INT),
+                    Attribute("Date", T.DATE),
+                    Attribute("Temperature", T.FLOAT),
+                ]
+            ),
+        }
+
+    def has_table(self, name):
+        return name.lower() in self.schemas
+
+    def schema_of(self, name):
+        return self.schemas[name.lower()]
+
+
+@pytest.fixture
+def provider():
+    return Provider()
+
+
+class TestResolution:
+    def test_tables_resolved(self, provider):
+        query = compile_sql("SELECT * FROM Station, Weather", provider)
+        assert query.tables == ["Station", "Weather"]
+
+    def test_unknown_table(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql("SELECT * FROM Nope", provider)
+
+    def test_unqualified_column_resolved(self, provider):
+        query = compile_sql(
+            "SELECT City FROM Station WHERE City = 'X'", provider
+        )
+        assert query.outputs[0].column.table == "Station"
+
+    def test_ambiguous_column(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql(
+                "SELECT Country FROM Station, Weather", provider
+            )
+
+    def test_self_join_rejected(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql("SELECT * FROM Station, Station", provider)
+
+    def test_parameter_count_mismatch(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql(
+                "SELECT * FROM Station WHERE City = ?", provider, ()
+            )
+
+
+class TestConstraints:
+    def test_point_constraint(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE City = 'Alpha'", provider
+        )
+        constraint = query.constraints_for("Station")[0]
+        assert constraint.is_point and constraint.value == "Alpha"
+
+    def test_parameter_substitution(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE City = ?", provider, ("Beta",)
+        )
+        assert query.constraints_for("Station")[0].value == "Beta"
+
+    def test_range_normalization_half_open(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE Date >= 5 AND Date <= 9", provider
+        )
+        constraints = query.constraints_for("Weather")
+        lows = [c.low for c in constraints if c.low is not None]
+        highs = [c.high for c in constraints if c.high is not None]
+        assert lows == [5]
+        assert highs == [10]  # inclusive 9 becomes half-open 10
+
+    def test_strict_inequalities(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE Date > 5 AND Date < 9", provider
+        )
+        constraints = query.constraints_for("Weather")
+        assert {(c.low, c.high) for c in constraints} == {(6, None), (None, 9)}
+
+    def test_between(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE Date BETWEEN 3 AND 7", provider
+        )
+        constraint = query.constraints_for("Weather")[0]
+        assert (constraint.low, constraint.high) == (3, 8)
+
+    def test_reversed_comparison_flipped(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE 5 <= Date", provider
+        )
+        constraint = query.constraints_for("Weather")[0]
+        assert constraint.low == 5
+
+    def test_float_range_stays_residual(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE Temperature >= 20.5", provider
+        )
+        assert not query.constraints_for("Weather")
+        assert len(query.residuals_for("Weather")) == 1
+
+    def test_not_equal_stays_residual(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE City != 'Alpha'", provider
+        )
+        assert not query.constraints_for("Station")
+        assert len(query.residuals_for("Station")) == 1
+
+    def test_in_becomes_point_set(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE City IN ('A', 'B')", provider
+        )
+        constraint = query.constraints_for("Station")[0]
+        assert constraint.is_set and constraint.values == frozenset({"A", "B"})
+
+    def test_or_same_column_becomes_point_set(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE City = 'A' OR City = 'B'", provider
+        )
+        constraint = query.constraints_for("Station")[0]
+        assert constraint.is_set
+
+    def test_or_across_columns_rejected(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql(
+                "SELECT * FROM Station WHERE City = 'A' OR Country = 'B'",
+                provider,
+            )
+
+    def test_not_predicate_residual(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station WHERE NOT City = 'A'", provider
+        )
+        assert len(query.residuals_for("Station")) == 1
+
+
+class TestJoins:
+    def test_equi_join_extracted(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station, Weather "
+            "WHERE Station.StationID = Weather.StationID",
+            provider,
+        )
+        assert len(query.joins) == 1
+        assert set(query.joins[0].tables()) == {"Station", "Weather"}
+
+    def test_chained_equality_join_plus_constraints(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station, Weather "
+            "WHERE Station.Country = Weather.Country = ?",
+            provider,
+            ("CountryA",),
+        )
+        assert len(query.joins) == 1
+        assert query.constraints_for("Station")[0].value == "CountryA"
+        assert query.constraints_for("Weather")[0].value == "CountryA"
+
+    def test_non_equi_cross_table_rejected(self, provider):
+        with pytest.raises(SqlAnalysisError):
+            compile_sql(
+                "SELECT * FROM Station, Weather "
+                "WHERE Station.StationID < Weather.StationID",
+                provider,
+            )
+
+    def test_same_table_comparison_residual(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Weather WHERE StationID = Date", provider
+        )
+        assert len(query.residuals_for("Weather")) == 1
+
+    def test_join_components(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station, Weather", provider
+        )
+        components = query.join_components()
+        assert len(components) == 2
+
+
+class TestOutputs:
+    def test_aggregate_alias_defaults(self, provider):
+        query = compile_sql(
+            "SELECT AVG(Temperature) FROM Weather", provider
+        )
+        assert query.outputs[0].aggregate.alias == "avg_temperature"
+
+    def test_count_star_alias(self, provider):
+        query = compile_sql("SELECT COUNT(*) FROM Weather", provider)
+        assert query.outputs[0].aggregate.alias == "count_all"
+
+    def test_group_by_resolved(self, provider):
+        query = compile_sql(
+            "SELECT City, COUNT(*) FROM Station GROUP BY City", provider
+        )
+        assert query.group_by[0].table == "Station"
+
+    def test_order_by_and_limit(self, provider):
+        query = compile_sql(
+            "SELECT * FROM Station ORDER BY City DESC LIMIT 2", provider
+        )
+        assert query.order_descending == [True]
+        assert query.limit == 2

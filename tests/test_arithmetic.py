@@ -1,0 +1,149 @@
+"""Arithmetic aggregate arguments: SUM(ExtendedPrice * Discount) et al."""
+
+import pytest
+
+from repro.errors import SchemaError, SqlSyntaxError
+from repro.relational.expressions import (
+    Arithmetic,
+    ColumnRef,
+    Literal,
+    RowLayout,
+)
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse
+
+
+class TestExpressionEvaluation:
+    def test_operators(self):
+        layout = RowLayout([("t", "a"), ("t", "b")])
+        row = (6.0, 3.0)
+        cases = {"+": 9.0, "-": 3.0, "*": 18.0, "/": 2.0}
+        for op, expected in cases.items():
+            expr = Arithmetic(op, ColumnRef("t", "a"), ColumnRef("t", "b"))
+            assert expr.bind(layout)(row) == expected
+
+    def test_nested(self):
+        layout = RowLayout([("t", "a")])
+        expr = Arithmetic(
+            "*",
+            ColumnRef("t", "a"),
+            Arithmetic("-", Literal(1), Literal(0.1)),
+        )
+        assert expr.bind(layout)((100.0,)) == pytest.approx(90.0)
+
+    def test_invalid_operator(self):
+        with pytest.raises(SchemaError):
+            Arithmetic("%", Literal(1), Literal(2))
+
+
+class TestParsing:
+    def test_product_argument(self):
+        statement = parse("SELECT SUM(Price * Discount) FROM Lineitem")
+        arg = statement.items[0].aggregate_arg
+        assert isinstance(arg, ast.ArithExpr) and arg.op == "*"
+
+    def test_precedence(self):
+        statement = parse("SELECT SUM(a + b * c) FROM T")
+        arg = statement.items[0].aggregate_arg
+        assert arg.op == "+"
+        assert isinstance(arg.right, ast.ArithExpr)
+        assert arg.right.op == "*"
+
+    def test_parentheses(self):
+        statement = parse("SELECT SUM((a + b) * c) FROM T")
+        arg = statement.items[0].aggregate_arg
+        assert arg.op == "*"
+        assert isinstance(arg.left, ast.ArithExpr)
+
+    def test_constants_and_unary_minus(self):
+        statement = parse("SELECT SUM(Price * (1 - Discount)) FROM T")
+        arg = statement.items[0].aggregate_arg
+        assert arg.op == "*"
+
+    def test_count_star_still_works(self):
+        statement = parse("SELECT COUNT(*) FROM T")
+        assert statement.items[0].aggregate_arg is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM T")
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(a +) FROM T")
+
+
+class TestEndToEnd:
+    def test_revenue_query(self, mini_payless):
+        """TPC-H Q6 style: SUM(price * quantity-ish) over market data."""
+        result = mini_payless.query(
+            "SELECT SUM(Temperature * 2.0) FROM Weather "
+            "WHERE Country = 'CountryB' AND Date = 1"
+        )
+        # Stations 5 and 6, day 1: temps 51 and 61 -> (51+61)*2.
+        assert result.rows[0][0] == pytest.approx(224.0)
+
+    def test_arithmetic_in_group_by_query(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT StationID, AVG(Temperature - 0.5) FROM Weather "
+            "WHERE Country = 'CountryA' GROUP BY StationID"
+        )
+        values = dict(result.rows)
+        # Station 1 temps: 11..20 -> mean 15.5; minus 0.5 = 15.0.
+        assert values[1] == pytest.approx(15.0)
+
+    def test_having_with_expression(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT StationID, SUM(Temperature * 1.0) FROM Weather "
+            "GROUP BY StationID HAVING SUM(Temperature * 1.0) >= 555"
+        )
+        # Station s sums to s*100 + 55 over 10 days.
+        assert sorted(row[0] for row in result.rows) == [5, 6]
+
+    def test_default_alias_for_expression(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT SUM(Temperature * 2.0) FROM Weather WHERE Date = 1"
+        )
+        assert result.columns == ["sum_expr0"]
+
+
+class TestArithmeticPredicates:
+    def test_where_arithmetic_residual(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT * FROM Weather WHERE Temperature * 2 >= 120"
+        )
+        assert all(row[3] * 2 >= 120 for row in result.rows)
+        assert len(result.rows) == 11  # temps >= 60
+
+    def test_column_vs_column_arithmetic(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT * FROM Weather WHERE Temperature - 10.0 >= StationID * 10"
+        )
+        assert all(row[3] - 10.0 >= row[1] * 10 for row in result.rows)
+
+    def test_precedence_in_predicate(self, mini_payless):
+        # a + b * c: 1 + Date * 0 == 1 for every row.
+        result = mini_payless.query(
+            "SELECT COUNT(*) FROM Weather WHERE 1 + Date * 0 = 1"
+        )
+        assert result.rows == [(60,)]
+
+    def test_parameter_inside_arithmetic(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT COUNT(*) FROM Weather WHERE Temperature * ? >= ?",
+            (2.0, 120.0),
+        )
+        assert result.rows == [(11,)]
+
+    def test_cross_table_arithmetic_rejected(self, mini_payless):
+        from repro.errors import SqlAnalysisError
+
+        with pytest.raises(SqlAnalysisError):
+            mini_payless.query(
+                "SELECT * FROM Station, Weather "
+                "WHERE Station.StationID + 1 = Weather.StationID * 2"
+            )
+
+    def test_constant_comparison_rejected(self, mini_payless):
+        from repro.errors import SqlAnalysisError
+
+        with pytest.raises(SqlAnalysisError):
+            mini_payless.query("SELECT * FROM Station WHERE 1 + 1 = 2")

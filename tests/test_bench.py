@@ -1,0 +1,125 @@
+"""Harness tests: the evaluation's orderings hold at miniature scale."""
+
+import pytest
+
+from repro.bench.figures import BenchProfile, make_instances, make_workload
+from repro.bench.harness import build_system, download_all_bound, run_session
+from repro.bench.reporting import checkpoints, series_table, summary_table
+from repro.errors import ReproError
+from repro.workloads.weather import WeatherConfig
+
+# Default weather sizes (≈29k market rows): big enough that the paper's
+# ordering PayLess < w/o-SQR < Minimizing-Calls < Download-All shows up;
+# small enough to run in seconds.
+SMALL = BenchProfile(weather_q=3, tpch_q=1, tpch_scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def real_sessions():
+    data = make_workload("real", SMALL)
+    instances = make_instances("real", data, 4, SMALL)
+    systems = ("payless", "payless_nosqr", "min_calls", "download_all")
+    return (
+        data,
+        {system: run_session(system, data, instances) for system in systems},
+    )
+
+
+class TestFigure10Orderings:
+    def test_cumulative_series_monotone(self, real_sessions):
+        __, sessions = real_sessions
+        for session in sessions.values():
+            series = session.cumulative_transactions
+            assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_payless_beats_nosqr(self, real_sessions):
+        __, sessions = real_sessions
+        assert (
+            sessions["payless"].total_transactions
+            <= sessions["payless_nosqr"].total_transactions
+        )
+
+    def test_payless_beats_min_calls(self, real_sessions):
+        __, sessions = real_sessions
+        assert (
+            sessions["payless"].total_transactions
+            < sessions["min_calls"].total_transactions
+        )
+
+    def test_payless_beats_download_all_on_real_data(self, real_sessions):
+        __, sessions = real_sessions
+        assert (
+            sessions["payless"].total_transactions
+            < sessions["download_all"].total_transactions
+        )
+
+    def test_download_all_flatlines_at_bound(self, real_sessions):
+        data, sessions = real_sessions
+        assert (
+            sessions["download_all"].total_transactions
+            == download_all_bound(data)
+        )
+
+    def test_payless_never_exceeds_download_bound_plus_rounding(
+        self, real_sessions
+    ):
+        """Once the store holds everything, PayLess stops paying."""
+        data, sessions = real_sessions
+        series = sessions["payless"].cumulative_transactions
+        # Generous envelope: per-region ceil rounding can add overhead but
+        # the curve must flatten far below repeated refetching.
+        assert series[-1] < 3 * download_all_bound(data)
+
+
+class TestHarness:
+    def test_unknown_system(self):
+        data = make_workload("real", SMALL)
+        with pytest.raises(ReproError):
+            build_system("mystery", data)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            make_workload("mystery", SMALL)
+
+    def test_noprune_instrumentation(self):
+        data = make_workload("real", SMALL)
+        instances = make_instances("real", data, 2, SMALL)
+        session = run_session("payless", data, instances)
+        assert session.average_boxes(pruned=True) <= session.average_boxes(
+            pruned=False
+        )
+
+    def test_disable_all_counts_more_plans(self):
+        data = make_workload("real", SMALL)
+        instances = make_instances("real", data, 2, SMALL)
+        payless = run_session("payless_nosqr", data, instances)
+        bushy = run_session("payless_disable_all", data, instances)
+        assert (
+            bushy.average_evaluated_plans >= payless.average_evaluated_plans
+        )
+
+
+class TestReporting:
+    def test_checkpoints(self):
+        marks = checkpoints(100, 10)
+        assert marks[-1] == 100
+        assert len(marks) == 10
+
+    def test_checkpoints_short_series(self):
+        assert checkpoints(3, 10) == [1, 2, 3]
+
+    def test_series_table_renders(self):
+        text = series_table(
+            "Fig X", {"a": [1, 2, 3], "b": [4, 5, 6]}, points=2
+        )
+        assert "Fig X" in text and "a" in text and "6" in text
+
+    def test_series_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table("x", {"a": [1], "b": [1, 2]})
+
+    def test_summary_table(self):
+        text = summary_table(
+            "Fig Y", [["real", 1.5, 10]], ["workload", "avg", "n"]
+        )
+        assert "workload" in text and "1.5" in text

@@ -1,0 +1,188 @@
+"""Unit + property tests for the integer box algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semstore.boxes import (
+    Box,
+    BoxError,
+    bounding_box,
+    covers_fully,
+    merge_adjacent,
+    remainder_decomposition,
+    subtract_all,
+    union_volume,
+)
+
+
+def box(*extents):
+    return Box(tuple(extents))
+
+
+class TestBasics:
+    def test_degenerate_rejected(self):
+        with pytest.raises(BoxError):
+            box((5, 5))
+
+    def test_volume(self):
+        assert box((0, 10), (0, 5)).volume() == 50
+
+    def test_contains_box(self):
+        assert box((0, 10)).contains_box(box((2, 5)))
+        assert not box((0, 10)).contains_box(box((5, 11)))
+
+    def test_contains_point(self):
+        b = box((0, 10), (5, 6))
+        assert b.contains_point((0, 5))
+        assert b.contains_point((9, 5))
+        assert not b.contains_point((10, 5))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(BoxError):
+            box((0, 1)).intersect(box((0, 1), (0, 1)))
+
+    def test_intersect(self):
+        assert box((0, 10)).intersect(box((5, 20))) == box((5, 10))
+        assert box((0, 5)).intersect(box((5, 10))) is None
+
+    def test_subtract_disjoint(self):
+        assert box((0, 5)).subtract(box((7, 9))) == [box((0, 5))]
+
+    def test_subtract_fully_covered(self):
+        assert box((2, 4)).subtract(box((0, 10))) == []
+
+    def test_subtract_middle_1d(self):
+        pieces = box((0, 10)).subtract(box((3, 6)))
+        assert sorted(p.extents for p in pieces) == [((0, 3),), ((6, 10),)]
+
+    def test_subtract_corner_2d(self):
+        pieces = box((0, 10), (0, 10)).subtract(box((5, 10), (5, 10)))
+        total = sum(p.volume() for p in pieces)
+        assert total == 100 - 25
+        # Pieces are pairwise disjoint.
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1:]:
+                assert a.intersect(b) is None
+
+
+class TestDecomposition:
+    def test_figure6_remainder(self):
+        # Q = [0,101), V1 = [10,20), V2 = [30,60)  (Figure 6 of the paper).
+        remainder = remainder_decomposition(
+            box((0, 101)), [box((10, 20)), box((30, 60))]
+        )
+        assert sorted(b.extents for b in remainder) == [
+            ((0, 10),),
+            ((20, 30),),
+            ((60, 101),),
+        ]
+
+    def test_covers_fully(self):
+        assert covers_fully(box((0, 10)), [box((0, 6)), box((6, 10))])
+        assert not covers_fully(box((0, 10)), [box((0, 6)), box((7, 10))])
+
+    def test_merge_adjacent(self):
+        merged = merge_adjacent([box((0, 5)), box((5, 10))])
+        assert merged == [box((0, 10))]
+
+    def test_merge_requires_equal_other_extents(self):
+        boxes = [box((0, 5), (0, 1)), box((5, 10), (0, 2))]
+        assert len(merge_adjacent(boxes)) == 2
+
+    def test_union_volume_overlapping(self):
+        assert union_volume([box((0, 10)), box((5, 15))]) == 15
+
+    def test_bounding_box(self):
+        enclosing = bounding_box([box((0, 2), (5, 6)), box((8, 9), (1, 3))])
+        assert enclosing == box((0, 9), (1, 6))
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(BoxError):
+            bounding_box([])
+
+
+# ------------------------------------------------------------- property tests
+
+extent_strategy = st.tuples(
+    st.integers(0, 30), st.integers(1, 31)
+).map(lambda pair: (min(pair), max(pair[0] + 1, pair[1])))
+
+
+def boxes_strategy(dimensions):
+    return st.builds(
+        lambda extents: Box(tuple(extents)),
+        st.lists(extent_strategy, min_size=dimensions, max_size=dimensions),
+    )
+
+
+@st.composite
+def query_and_covers(draw, dimensions=2, max_covers=4):
+    query = draw(boxes_strategy(dimensions))
+    covers = draw(st.lists(boxes_strategy(dimensions), max_size=max_covers))
+    return query, covers
+
+
+def brute_force_points(box_):
+    """All grid points of a (small) box."""
+    import itertools
+
+    return set(
+        itertools.product(*[range(low, high) for low, high in box_.extents])
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(query_and_covers())
+def test_remainder_is_exact_and_disjoint(case):
+    """remainder(Q, V) contains exactly the points of Q not covered by V."""
+    query, covers = case
+    remainder = remainder_decomposition(query, covers)
+    # Disjointness.
+    for i, a in enumerate(remainder):
+        for b in remainder[i + 1:]:
+            assert a.intersect(b) is None
+    # Exactness (point-level, brute force).
+    expected = brute_force_points(query)
+    for cover in covers:
+        expected -= brute_force_points(cover)
+    actual = set()
+    for piece in remainder:
+        points = brute_force_points(piece)
+        assert points <= brute_force_points(query)
+        actual |= points
+    assert actual == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(query_and_covers())
+def test_subtract_all_volume_identity(case):
+    query, covers = case
+    pieces = subtract_all(query, [c for c in covers])
+    clipped = [query.intersect(c) for c in covers]
+    clipped = [c for c in clipped if c is not None]
+    assert sum(p.volume() for p in pieces) == query.volume() - union_volume(
+        clipped
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(query_and_covers())
+def test_merge_preserves_region(case):
+    query, covers = case
+    pieces = subtract_all(query, covers)
+    merged = merge_adjacent(pieces)
+    assert sum(p.volume() for p in merged) == sum(p.volume() for p in pieces)
+    for i, a in enumerate(merged):
+        for b in merged[i + 1:]:
+            assert a.intersect(b) is None
+    assert len(merged) <= len(pieces)
+
+
+@settings(max_examples=200, deadline=None)
+@given(query_and_covers())
+def test_covers_fully_matches_empty_remainder(case):
+    query, covers = case
+    assert covers_fully(query, covers) == (
+        not remainder_decomposition(query, covers)
+    )

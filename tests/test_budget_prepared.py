@@ -1,0 +1,126 @@
+"""Prepared queries, budget enforcement, and subscription invoicing."""
+
+import pytest
+
+from repro.core.budget import (
+    BudgetedPayLess,
+    BudgetExceededError,
+    BudgetMode,
+    BudgetPolicy,
+)
+from repro.core.prepared import PreparedQuery
+from repro.errors import ReproError, SqlAnalysisError
+from repro.market.subscription import Subscription
+
+TEMPLATE = (
+    "SELECT AVG(Temperature) FROM Weather "
+    "WHERE Country = ? AND Date >= ? AND Date <= ?"
+)
+
+
+class TestPreparedQuery:
+    def test_parse_once_run_many(self, mini_payless):
+        prepared = PreparedQuery(mini_payless, TEMPLATE)
+        assert prepared.parameter_count == 3
+        first = prepared.execute(("CountryA", 1, 5))
+        second = prepared.execute(("CountryA", 6, 10))
+        third = prepared.execute(("CountryA", 1, 10))  # covered by 1+2
+        assert first.transactions > 0
+        assert third.transactions == 0
+        assert prepared.executions == 3
+        assert prepared.total_transactions == (
+            first.transactions + second.transactions
+        )
+
+    def test_wrong_arity(self, mini_payless):
+        prepared = PreparedQuery(mini_payless, TEMPLATE)
+        with pytest.raises(SqlAnalysisError):
+            prepared.execute(("CountryA",))
+
+    def test_explain_does_not_spend(self, mini_payless):
+        prepared = PreparedQuery(mini_payless, TEMPLATE)
+        planning = prepared.explain(("CountryB", 1, 10))
+        assert planning.cost > 0
+        assert mini_payless.total_transactions == 0
+
+    def test_repr(self, mini_payless):
+        prepared = PreparedQuery(mini_payless, TEMPLATE)
+        assert "3 params" in repr(prepared)
+
+
+class TestBudget:
+    def test_hard_budget_rejects(self, mini_payless):
+        budgeted = BudgetedPayLess(
+            mini_payless, BudgetPolicy(limit_transactions=1)
+        )
+        with pytest.raises(BudgetExceededError):
+            budgeted.query("SELECT * FROM Weather")  # ≈6 transactions
+        assert budgeted.report.rejected_queries == 1
+        assert mini_payless.total_transactions == 0
+
+    def test_within_budget_executes(self, mini_payless):
+        budgeted = BudgetedPayLess(
+            mini_payless, BudgetPolicy(limit_transactions=100)
+        )
+        result = budgeted.query("SELECT * FROM Station")
+        assert result.transactions >= 1
+        assert budgeted.report.spent_transactions == result.transactions
+        assert budgeted.report.remaining == 100 - result.transactions
+
+    def test_advisory_mode_executes_and_logs(self, mini_payless):
+        budgeted = BudgetedPayLess(
+            mini_payless,
+            BudgetPolicy(limit_transactions=1, mode=BudgetMode.ADVISORY),
+        )
+        result = budgeted.query("SELECT * FROM Weather")
+        assert result.transactions > 1
+        assert budgeted.report.advisory_breaches == 1
+
+    def test_covered_queries_free_under_tight_budget(self, mini_payless):
+        generous = BudgetedPayLess(
+            mini_payless, BudgetPolicy(limit_transactions=100)
+        )
+        generous.query("SELECT * FROM Weather")
+        tight = BudgetedPayLess(
+            mini_payless, BudgetPolicy(limit_transactions=0)
+        )
+        # Fully covered → estimate 0 → allowed even with a zero budget.
+        result = tight.query("SELECT * FROM Weather")
+        assert result.transactions == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            BudgetPolicy(limit_transactions=-1)
+
+
+class TestSubscription:
+    def test_paper_example(self):
+        """USD 12 per 100 transactions; 4400 records at t=100 = 44 trans."""
+        plan = Subscription(transactions_per_block=100, block_price=12.0)
+        assert plan.blocks_for(44) == 1
+        assert plan.invoice(44) == 12.0
+        assert plan.invoice(101) == 24.0
+
+    def test_utilization(self):
+        plan = Subscription(transactions_per_block=100, block_price=12.0)
+        assert plan.utilization(44) == pytest.approx(0.44)
+        assert plan.utilization(0) == 0.0
+        assert plan.utilization(200) == pytest.approx(1.0)
+
+    def test_invoice_ledger(self, mini_payless):
+        mini_payless.query("SELECT * FROM Weather")  # 6 transactions at t=10
+        plan = Subscription(transactions_per_block=5, block_price=1.0)
+        ledger = mini_payless.market.ledger
+        assert plan.invoice_ledger(ledger) == pytest.approx(2.0)
+        assert plan.invoice_ledger(ledger, dataset="WHW") == pytest.approx(2.0)
+        assert plan.invoice_ledger(ledger, dataset="Nope") == 0.0
+
+    def test_invalid_plans(self):
+        from repro.errors import MarketError
+
+        with pytest.raises(MarketError):
+            Subscription(transactions_per_block=0)
+        with pytest.raises(MarketError):
+            Subscription(block_price=-1.0)
+        with pytest.raises(MarketError):
+            Subscription().blocks_for(-5)

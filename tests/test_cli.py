@@ -1,0 +1,58 @@
+"""CLI tests: argument parsing and command output."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSession:
+    def test_session_runs(self, capsys):
+        code = main(
+            ["session", "--workload", "real", "--instances", "1",
+             "--system", "payless"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cumulative transactions" in out
+        assert "total:" in out
+
+    def test_download_all_session(self, capsys):
+        code = main(
+            ["session", "--workload", "real", "--instances", "1",
+             "--system", "download_all"]
+        )
+        assert code == 0
+        assert "download-all bound" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_prints_plan(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload",
+                "real",
+                "SELECT * FROM Weather WHERE Weather.Date <= 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MarketAccess(Weather)" in out
+        assert "estimated transactions" in out
+
+
+class TestFigures:
+    def test_fig15(self, capsys):
+        code = main(["figures", "fig15", "--workload", "real"])
+        assert code == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["session", "--workload", "mystery"])

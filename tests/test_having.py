@@ -1,0 +1,71 @@
+"""HAVING clause: parser, analyzer, engine, and end-to-end via PayLess."""
+
+import pytest
+
+from repro.errors import SqlAnalysisError, SqlSyntaxError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse
+
+
+class TestParsing:
+    def test_having_parsed(self):
+        statement = parse(
+            "SELECT City, COUNT(*) FROM Station GROUP BY City "
+            "HAVING COUNT(*) >= 2"
+        )
+        assert isinstance(statement.having, ast.ComparisonExpr)
+        assert isinstance(statement.having.left, ast.AggregateTerm)
+
+    def test_having_with_aggregate_arg(self):
+        statement = parse(
+            "SELECT City, AVG(Temperature) FROM Weather GROUP BY City "
+            "HAVING AVG(Temperature) > 20 AND City != 'X'"
+        )
+        assert isinstance(statement.having, ast.AndExpr)
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM T HAVING COUNT(*) > 1")
+
+    def test_aggregate_term_only_in_having(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM T WHERE COUNT(*) > 1")
+
+
+class TestEndToEnd:
+    def test_having_filters_groups(self, mini_payless):
+        # Alpha has 2 stations, Delta has 2, Beta and Gamma have 1 each.
+        result = mini_payless.query(
+            "SELECT City, COUNT(*) FROM Station GROUP BY City "
+            "HAVING COUNT(*) >= 2"
+        )
+        cities = sorted(row[0] for row in result.rows)
+        assert cities == ["Alpha", "Delta"]
+
+    def test_having_on_avg(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT StationID, AVG(Temperature) FROM Weather "
+            "GROUP BY StationID HAVING AVG(Temperature) >= 40.0"
+        )
+        # Station s averages s*10 + 5.5; stations 4, 5, 6 qualify.
+        assert sorted(row[0] for row in result.rows) == [4, 5, 6]
+
+    def test_having_group_key_reference(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT Country, COUNT(*) FROM Station GROUP BY Country "
+            "HAVING Country = 'CountryB'"
+        )
+        assert result.rows == [("CountryB", 2)]
+
+    def test_having_aggregate_must_be_selected(self, mini_payless):
+        with pytest.raises(SqlAnalysisError):
+            mini_payless.query(
+                "SELECT City, COUNT(*) FROM Station GROUP BY City "
+                "HAVING SUM(StationID) > 3"
+            )
+
+    def test_having_without_aggregates_rejected(self, mini_payless):
+        with pytest.raises(SqlAnalysisError):
+            mini_payless.query(
+                "SELECT City FROM Station GROUP BY City HAVING City = 'A'"
+            )

@@ -1,0 +1,153 @@
+"""Unit + property tests for the ISOMER-style feedback histogram."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import BasicStatistics
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace
+from repro.stats.isomer import FeedbackHistogram
+
+
+def make_space(width=100):
+    schema = Schema([Attribute("A", T.INT)])
+    pattern = BindingPattern(table="R", modes={"A": AccessMode.FREE})
+    return BoxSpace.from_table(
+        "R", schema, pattern, BasicStatistics(0, {"a": Domain.numeric(0, width - 1)})
+    )
+
+
+def make_space_2d(width=20):
+    schema = Schema([Attribute("A", T.INT), Attribute("B", T.INT)])
+    pattern = BindingPattern(
+        table="R", modes={"A": AccessMode.FREE, "B": AccessMode.FREE}
+    )
+    return BoxSpace.from_table(
+        "R",
+        schema,
+        pattern,
+        BasicStatistics(
+            0,
+            {
+                "a": Domain.numeric(0, width - 1),
+                "b": Domain.numeric(0, width - 1),
+            },
+        ),
+    )
+
+
+class TestUniformPrior:
+    def test_full_box_equals_cardinality(self):
+        histogram = FeedbackHistogram(make_space(), 500)
+        assert histogram.estimate_full() == pytest.approx(500.0)
+
+    def test_proportional_fraction(self):
+        histogram = FeedbackHistogram(make_space(100), 500)
+        assert histogram.estimate(Box(((0, 50),))) == pytest.approx(250.0)
+
+    def test_outside_domain_is_zero(self):
+        histogram = FeedbackHistogram(make_space(100), 500)
+        assert histogram.estimate(Box(((200, 300),))) == 0.0
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(StatisticsError):
+            FeedbackHistogram(make_space(), -1)
+
+
+class TestFeedback:
+    def test_observed_region_exact(self):
+        histogram = FeedbackHistogram(make_space(100), 1000)
+        histogram.observe(Box(((0, 10),)), 3)
+        assert histogram.estimate(Box(((0, 10),))) == pytest.approx(3.0)
+
+    def test_residual_rebalanced(self):
+        histogram = FeedbackHistogram(make_space(100), 1000)
+        histogram.observe(Box(((0, 50),)), 0)
+        # All 1000 tuples must now be in the other half.
+        assert histogram.estimate(Box(((50, 100),))) == pytest.approx(1000.0)
+
+    def test_total_preserved(self):
+        histogram = FeedbackHistogram(make_space(100), 1000)
+        histogram.observe(Box(((10, 30),)), 111)
+        histogram.observe(Box(((40, 70),)), 222)
+        assert histogram.estimate_full() == pytest.approx(1000.0)
+
+    def test_overlapping_feedback_latest_wins(self):
+        histogram = FeedbackHistogram(make_space(100), 1000)
+        histogram.observe(Box(((0, 20),)), 100)
+        histogram.observe(Box(((10, 30),)), 50)
+        assert histogram.estimate(Box(((10, 30),))) == pytest.approx(50.0)
+
+    def test_refinement_splits_proportionally(self):
+        histogram = FeedbackHistogram(make_space(100), 1000)
+        histogram.observe(Box(((0, 20),)), 100)
+        histogram.observe(Box(((10, 30),)), 50)
+        # [0,10) keeps half of the original 100.
+        assert histogram.estimate(Box(((0, 10),))) == pytest.approx(50.0)
+
+    def test_negative_observation_rejected(self):
+        histogram = FeedbackHistogram(make_space(), 10)
+        with pytest.raises(StatisticsError):
+            histogram.observe(Box(((0, 5),)), -2)
+
+    def test_off_domain_observation_ignored(self):
+        histogram = FeedbackHistogram(make_space(100), 10)
+        histogram.observe(Box(((500, 600),)), 99)
+        assert histogram.refined_box_count == 0
+
+    def test_compaction_bounds_box_count(self):
+        histogram = FeedbackHistogram(make_space(1000), 100, max_boxes=16)
+        for i in range(100):
+            histogram.observe(Box(((i * 10, i * 10 + 10),)), 1)
+        assert histogram.refined_box_count <= 16
+
+    def test_2d_feedback(self):
+        histogram = FeedbackHistogram(make_space_2d(20), 400)
+        histogram.observe(Box(((0, 10), (0, 10))), 7)
+        assert histogram.estimate(Box(((0, 10), (0, 10)))) == pytest.approx(7.0)
+        assert histogram.estimate_full() == pytest.approx(400.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    observations=st.lists(
+        st.tuples(
+            st.integers(0, 90),
+            st.integers(1, 20),
+            st.integers(0, 50),
+        ),
+        max_size=8,
+    ),
+)
+def test_last_observation_always_exact(observations):
+    """Re-estimating the most recent observed region returns its count."""
+    histogram = FeedbackHistogram(make_space(100), 500)
+    last = None
+    for start, width, count in observations:
+        box = Box(((start, min(start + width, 100)),))
+        histogram.observe(box, count)
+        last = (box, count)
+    if last is not None:
+        box, count = last
+        assert histogram.estimate(box) == pytest.approx(float(count))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    observations=st.lists(
+        st.tuples(st.integers(0, 90), st.integers(1, 20), st.integers(0, 50)),
+        max_size=8,
+    ),
+    probe=st.tuples(st.integers(0, 90), st.integers(1, 30)),
+)
+def test_estimates_never_negative(observations, probe):
+    histogram = FeedbackHistogram(make_space(100), 100)
+    for start, width, count in observations:
+        histogram.observe(Box(((start, min(start + width, 100)),)), count)
+    start, width = probe
+    assert histogram.estimate(Box(((start, min(start + width, 100)),))) >= 0.0

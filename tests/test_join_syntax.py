@@ -1,0 +1,89 @@
+"""Explicit JOIN ... ON syntax (sugar over comma-join + WHERE)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.parser import parse
+from repro.testing import assert_matches_oracle, registered_payless, tiny_weather_market
+
+
+@pytest.fixture
+def payless():
+    return registered_payless(tiny_weather_market())
+
+
+class TestParsing:
+    def test_join_on_parses(self):
+        statement = parse(
+            "SELECT * FROM Station JOIN Weather "
+            "ON Station.StationID = Weather.StationID"
+        )
+        assert [t.name for t in statement.tables] == ["Station", "Weather"]
+        assert statement.where is not None
+
+    def test_inner_join_keyword(self):
+        statement = parse(
+            "SELECT * FROM A INNER JOIN B ON A.x = B.y"
+        )
+        assert [t.name for t in statement.tables] == ["A", "B"]
+
+    def test_join_on_merges_with_where(self):
+        statement = parse(
+            "SELECT * FROM A JOIN B ON A.x = B.y WHERE A.z = 1"
+        )
+        from repro.sqlparser import ast
+
+        assert isinstance(statement.where, ast.AndExpr)
+        assert len(statement.where.operands) == 2
+
+    def test_multiple_joins(self):
+        statement = parse(
+            "SELECT * FROM A JOIN B ON A.x = B.x JOIN C ON B.y = C.y"
+        )
+        assert [t.name for t in statement.tables] == ["A", "B", "C"]
+
+    def test_compound_on_condition(self):
+        statement = parse(
+            "SELECT * FROM A JOIN B ON A.x = B.x AND A.y = B.y"
+        )
+        from repro.sqlparser import ast
+
+        assert isinstance(statement.where, ast.AndExpr)
+
+    def test_join_without_on_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM A JOIN B")
+
+    def test_mixed_comma_and_join(self):
+        statement = parse(
+            "SELECT * FROM A, B JOIN C ON B.x = C.x"
+        )
+        assert [t.name for t in statement.tables] == ["A", "B", "C"]
+
+
+class TestEndToEnd:
+    def test_join_on_equivalent_to_comma_form(self, payless):
+        join_form = payless.query(
+            "SELECT Temperature FROM Station JOIN Weather "
+            "ON Station.StationID = Weather.StationID "
+            "WHERE City = 'Alpha'"
+        )
+        comma_form = payless.query(
+            "SELECT Temperature FROM Station, Weather "
+            "WHERE Station.StationID = Weather.StationID AND City = 'Alpha'"
+        )
+        assert sorted(join_form.rows) == sorted(comma_form.rows)
+
+    def test_join_on_matches_oracle(self, payless):
+        assert_matches_oracle(
+            payless,
+            "SELECT City, AVG(Temperature) FROM Station JOIN Weather "
+            "ON Station.StationID = Weather.StationID GROUP BY City",
+        )
+
+    def test_join_with_alias(self, payless):
+        result = payless.query(
+            "SELECT w.Temperature FROM Station s JOIN Weather w "
+            "ON s.StationID = w.StationID WHERE s.City = 'Beta'"
+        )
+        assert len(result.rows) == 10

@@ -1,0 +1,97 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import TokenType
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_preserved(self):
+        tokens = tokenize("Station")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "Station"
+
+    def test_qualified_name_is_three_tokens(self):
+        assert kinds("a.b")[:3] == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] is TokenType.EOF
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert values("42") == [42]
+
+    def test_float(self):
+        assert values("4.25") == [4.25]
+
+    def test_string(self):
+        assert values("'Seattle'") == ["Seattle"]
+
+    def test_string_with_escaped_quote(self):
+        assert values("'O''Hare'") == ["O'Hare"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_negative_after_operator(self):
+        assert values("x = -5") == ["x", "=", -5]
+
+    def test_minus_after_identifier_is_subtraction(self):
+        # After an identifier '-' is the arithmetic operator, not a sign.
+        assert kinds("x -5")[:3] == [
+            TokenType.IDENTIFIER,
+            TokenType.MINUS,
+            TokenType.NUMBER,
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "<=", ">=", "!="])
+    def test_operator(self, op):
+        assert values(f"a {op} b") == ["a", op, "b"]
+
+    def test_angle_bracket_inequality(self):
+        assert values("a <> b") == ["a", "!=", "b"]
+
+
+class TestMisc:
+    def test_parameter(self):
+        assert kinds("?")[0] is TokenType.PARAMETER
+
+    def test_star_comma_parens(self):
+        assert kinds("*,()")[:4] == [
+            TokenType.STAR,
+            TokenType.COMMA,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+        ]
+
+    def test_line_comment_skipped(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_position_reported(self):
+        with pytest.raises(SqlSyntaxError) as error:
+            tokenize("a @ b")
+        assert error.value.position == 2
+
+    def test_whitespace_variants(self):
+        assert values("a\t\nb") == ["a", "b"]

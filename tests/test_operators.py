@@ -1,0 +1,177 @@
+"""Unit tests for the physical operators."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.operators import (
+    Aggregate,
+    Relation,
+    aggregate_rows,
+    cross_product,
+    distinct,
+    filter_rows,
+    hash_join,
+    limit,
+    project,
+    scan,
+    sort,
+    union_all,
+)
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType as T
+
+
+@pytest.fixture
+def stations():
+    schema = Schema([Attribute("id", T.INT), Attribute("city", T.STRING)])
+    return Table(
+        "S", schema, [(1, "Alpha"), (2, "Alpha"), (3, "Beta")]
+    )
+
+
+@pytest.fixture
+def weather():
+    schema = Schema([Attribute("sid", T.INT), Attribute("temp", T.FLOAT)])
+    return Table(
+        "W", schema, [(1, 10.0), (1, 12.0), (2, 20.0), (9, 99.0)]
+    )
+
+
+class TestScanFilterProject:
+    def test_scan(self, stations):
+        relation = scan(stations)
+        assert len(relation) == 3
+        assert relation.layout.resolve("S", "city") == 1
+
+    def test_scan_alias(self, stations):
+        relation = scan(stations, alias="st")
+        assert relation.layout.has("st", "id")
+
+    def test_filter(self, stations):
+        predicate = Comparison("=", ColumnRef("S", "city"), Literal("Alpha"))
+        assert len(filter_rows(scan(stations), predicate)) == 2
+
+    def test_project(self, stations):
+        relation = project(scan(stations), [ColumnRef("S", "city")])
+        assert relation.rows == [("Alpha",), ("Alpha",), ("Beta",)]
+
+
+class TestJoins:
+    def test_hash_join(self, stations, weather):
+        joined = hash_join(
+            scan(stations),
+            scan(weather),
+            [(ColumnRef("S", "id"), ColumnRef("W", "sid"))],
+        )
+        assert len(joined) == 3  # station 1 x2 rows, station 2 x1, 3 and 9 drop
+        assert joined.layout.resolve("W", "temp") == 3
+
+    def test_hash_join_builds_on_smaller_side(self, stations, weather):
+        # Same result regardless of which side is larger.
+        joined_a = hash_join(
+            scan(stations), scan(weather),
+            [(ColumnRef("S", "id"), ColumnRef("W", "sid"))],
+        )
+        big = Table("W2", weather.schema, list(weather.rows) * 5)
+        joined_b = hash_join(
+            scan(stations), scan(big, alias="W"),
+            [(ColumnRef("S", "id"), ColumnRef("W", "sid"))],
+        )
+        assert len(joined_b) == 5 * len(joined_a)
+
+    def test_empty_keys_is_cross(self, stations, weather):
+        joined = hash_join(scan(stations), scan(weather), [])
+        assert len(joined) == 12
+
+    def test_cross_product(self, stations, weather):
+        crossed = cross_product(scan(stations), scan(weather))
+        assert len(crossed) == 12
+        assert crossed.rows[0] == (1, "Alpha", 1, 10.0)
+
+
+class TestSetOps:
+    def test_distinct(self, stations):
+        doubled = union_all([scan(stations), scan(stations)])
+        assert len(distinct(doubled)) == 3
+
+    def test_sort_asc_desc(self, weather):
+        relation = sort(scan(weather), [ColumnRef("W", "temp")], [True])
+        assert [row[1] for row in relation.rows] == [99.0, 20.0, 12.0, 10.0]
+
+    def test_sort_multi_key(self, weather):
+        relation = sort(
+            scan(weather),
+            [ColumnRef("W", "sid"), ColumnRef("W", "temp")],
+            [False, True],
+        )
+        assert relation.rows[0] == (1, 12.0)
+
+    def test_sort_flag_mismatch(self, weather):
+        with pytest.raises(ExecutionError):
+            sort(scan(weather), [ColumnRef("W", "sid")], [True, False])
+
+    def test_limit(self, weather):
+        assert len(limit(scan(weather), 2)) == 2
+
+    def test_union_all_mismatch(self, stations, weather):
+        narrow = project(scan(stations), [ColumnRef("S", "id")])
+        with pytest.raises(ExecutionError):
+            union_all([scan(weather), narrow])
+
+    def test_union_all_empty(self):
+        with pytest.raises(ExecutionError):
+            union_all([])
+
+
+class TestAggregation:
+    def test_group_by(self, weather):
+        relation = aggregate_rows(
+            scan(weather),
+            [ColumnRef("W", "sid")],
+            [Aggregate("AVG", ColumnRef("W", "temp"), "avg_temp")],
+        )
+        by_sid = {row[0]: row[1] for row in relation.rows}
+        assert by_sid[1] == pytest.approx(11.0)
+        assert by_sid[2] == pytest.approx(20.0)
+
+    def test_count_star(self, weather):
+        relation = aggregate_rows(
+            scan(weather), [], [Aggregate("COUNT", None, "n")]
+        )
+        assert relation.rows == [(4,)]
+
+    def test_global_aggregate_on_empty_input(self, weather):
+        empty = filter_rows(
+            scan(weather), Comparison("=", Literal(1), Literal(2))
+        )
+        relation = aggregate_rows(
+            empty,
+            [],
+            [
+                Aggregate("COUNT", None, "n"),
+                Aggregate("SUM", ColumnRef("W", "temp"), "s"),
+            ],
+        )
+        assert relation.rows == [(0, None)]
+
+    def test_min_max_sum(self, weather):
+        relation = aggregate_rows(
+            scan(weather),
+            [],
+            [
+                Aggregate("MIN", ColumnRef("W", "temp"), "lo"),
+                Aggregate("MAX", ColumnRef("W", "temp"), "hi"),
+                Aggregate("SUM", ColumnRef("W", "sid"), "total"),
+            ],
+        )
+        assert relation.rows == [(10.0, 99.0, 13)]
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(ExecutionError):
+            Aggregate("MEDIAN", None, "m")
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(ExecutionError):
+            Aggregate("SUM", None, "s")

@@ -1,0 +1,164 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM T")
+        assert statement.items == []
+
+    def test_columns_and_aliases(self):
+        statement = parse("SELECT a, T.b AS bee, c cee FROM T")
+        assert statement.items[0].column == ast.Column(None, "a")
+        assert statement.items[1].column == ast.Column("T", "b")
+        assert statement.items[1].alias == "bee"
+        assert statement.items[2].alias == "cee"
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), AVG(t.x) AS m FROM t")
+        count, avg = statement.items
+        assert count.aggregate_func == "COUNT" and count.aggregate_arg is None
+        assert avg.aggregate_func == "AVG"
+        assert avg.aggregate_arg == ast.Column("t", "x")
+        assert avg.alias == "m"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+class TestFrom:
+    def test_multiple_tables(self):
+        statement = parse("SELECT * FROM A, B, C")
+        assert [t.name for t in statement.tables] == ["A", "B", "C"]
+
+    def test_alias(self):
+        statement = parse("SELECT * FROM Station s")
+        assert statement.tables[0].alias == "s"
+        assert statement.tables[0].binding_name == "s"
+
+
+class TestWhere:
+    def test_simple_comparison(self):
+        statement = parse("SELECT * FROM T WHERE a >= 10")
+        condition = statement.where
+        assert isinstance(condition, ast.ComparisonExpr)
+        assert condition.op == ">="
+        assert condition.right == 10
+
+    def test_conjunction_flattened(self):
+        statement = parse("SELECT * FROM T WHERE a = 1 AND b = 2 AND c = 3")
+        assert isinstance(statement.where, ast.AndExpr)
+        assert len(statement.where.operands) == 3
+
+    def test_or_precedence(self):
+        statement = parse("SELECT * FROM T WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, ast.OrExpr)
+        left, right = statement.where.operands
+        assert isinstance(left, ast.ComparisonExpr)
+        assert isinstance(right, ast.AndExpr)
+
+    def test_parentheses(self):
+        statement = parse("SELECT * FROM T WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(statement.where, ast.AndExpr)
+        assert isinstance(statement.where.operands[0], ast.OrExpr)
+
+    def test_chained_equality(self):
+        statement = parse(
+            "SELECT * FROM S, W WHERE S.Country = W.Country = ?"
+        )
+        chain = statement.where
+        assert isinstance(chain, ast.ChainedEquality)
+        assert len(chain.terms) == 3
+        assert isinstance(chain.terms[2], ast.Parameter)
+
+    def test_between(self):
+        statement = parse("SELECT * FROM T WHERE a BETWEEN 1 AND 5")
+        condition = statement.where
+        assert isinstance(condition, ast.BetweenExpr)
+        assert condition.low == 1 and condition.high == 5
+
+    def test_between_binds_tighter_than_and(self):
+        statement = parse(
+            "SELECT * FROM T WHERE a BETWEEN 1 AND 5 AND b = 2"
+        )
+        assert isinstance(statement.where, ast.AndExpr)
+        assert isinstance(statement.where.operands[0], ast.BetweenExpr)
+
+    def test_in_list(self):
+        statement = parse("SELECT * FROM T WHERE a IN (1, 2, 3)")
+        assert isinstance(statement.where, ast.InExpr)
+        assert statement.where.values == (1, 2, 3)
+
+    def test_not(self):
+        statement = parse("SELECT * FROM T WHERE NOT a = 1")
+        assert isinstance(statement.where, ast.NotExpr)
+
+    def test_parameters_numbered_in_order(self):
+        statement = parse(
+            "SELECT * FROM T WHERE a = ? AND b >= ? AND c <= ?"
+        )
+        assert statement.parameter_count == 3
+        operands = statement.where.operands
+        assert operands[0].right == ast.Parameter(0)
+        assert operands[2].right == ast.Parameter(2)
+
+
+class TestClauses:
+    def test_group_by(self):
+        statement = parse("SELECT City, COUNT(*) FROM T GROUP BY City")
+        assert statement.group_by == [ast.Column(None, "City")]
+
+    def test_order_by(self):
+        statement = parse("SELECT * FROM T ORDER BY a DESC, b ASC, c")
+        assert [item.descending for item in statement.order_by] == [
+            True,
+            False,
+            False,
+        ]
+
+    def test_limit(self):
+        assert parse("SELECT * FROM T LIMIT 5").limit == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM T LIMIT -1")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM T WHERE",
+            "SELECT * FROM T WHERE a",
+            "SELECT * FROM T WHERE a = ",
+            "SELECT * FROM T trailing garbage tokens =",
+            "SELECT a FROM T GROUP City",
+            "SELECT * FROM T WHERE 1 BETWEEN 2 AND 3",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+    def test_paper_query_q5_parses(self):
+        parse(
+            "SELECT * FROM Pollution, Station, Weather, ZipMap "
+            "WHERE Station.Country = Weather.Country = ? "
+            "AND Weather.Date >= ? AND Weather.Date <= ? "
+            "AND Pollution.Rank >= ? AND Pollution.Rank <= ? "
+            "AND Pollution.ZipCode = ZipMap.ZipCode "
+            "AND ZipMap.City = Station.City "
+            "AND Station.StationID = Weather.StationID"
+        )

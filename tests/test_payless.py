@@ -1,0 +1,120 @@
+"""Facade tests: registration, querying, billing, variants."""
+
+import pytest
+
+from repro import (
+    ConsistencyPolicy,
+    Database,
+    DataMarket,
+    PayLess,
+    Table,
+)
+from repro.errors import PlanningError, SqlAnalysisError
+
+
+class TestRegistration:
+    def test_query_before_registration_fails(self, mini_weather_market):
+        payless = PayLess.full(mini_weather_market)
+        with pytest.raises(SqlAnalysisError):
+            payless.query("SELECT * FROM Station")
+
+    def test_register_unknown_dataset(self, mini_weather_market):
+        payless = PayLess.full(mini_weather_market)
+        with pytest.raises(Exception):
+            payless.register_dataset("Nope")
+
+    def test_add_local_table(self, mini_payless):
+        from repro.relational.schema import Attribute, Schema
+        from repro.relational.types import AttributeType as T
+
+        table = Table(
+            "Notes", Schema([Attribute("City", T.STRING)]), [("Alpha",)]
+        )
+        mini_payless.add_local_table(table)
+        result = mini_payless.query("SELECT * FROM Notes")
+        assert result.rows == [("Alpha",)]
+        assert result.transactions == 0
+
+
+class TestQuerying:
+    def test_columns_exposed(self, mini_payless):
+        result = mini_payless.query(
+            "SELECT City, AVG(Temperature) FROM Station, Weather "
+            "WHERE Station.StationID = Weather.StationID "
+            "AND Station.Country = 'CountryB' GROUP BY City"
+        )
+        assert result.columns == ["City", "avg_temperature"]
+        assert len(result.rows) == 1  # only Delta in CountryB
+
+    def test_bill_accumulates(self, mini_payless):
+        mini_payless.query("SELECT * FROM Station")
+        mini_payless.query("SELECT * FROM Station")
+        assert mini_payless.queries_executed == 2
+        assert mini_payless.total_transactions == 1  # second is free
+        assert "2 queries" in mini_payless.bill()
+
+    def test_explain_does_not_buy(self, mini_payless):
+        planning = mini_payless.explain("SELECT * FROM Weather")
+        assert planning.cost > 0
+        assert mini_payless.total_transactions == 0
+        assert "MarketAccess" in planning.plan.describe()
+
+    def test_price_tracks_policy(self, mini_payless):
+        result = mini_payless.query("SELECT * FROM Weather")
+        assert result.price == pytest.approx(float(result.transactions))
+
+
+class TestVariants:
+    def test_without_sqr_repays(self, mini_weather_market):
+        payless = PayLess.without_sqr(mini_weather_market)
+        payless.register_dataset("WHW")
+        first = payless.query("SELECT * FROM Station")
+        second = payless.query("SELECT * FROM Station")
+        assert first.transactions == second.transactions > 0
+
+    def test_strong_consistency_repays(self, mini_weather_market):
+        payless = PayLess.full(
+            mini_weather_market, consistency=ConsistencyPolicy.strong()
+        )
+        payless.register_dataset("WHW")
+        first = payless.query("SELECT * FROM Station")
+        second = payless.query("SELECT * FROM Station")
+        assert first.transactions == second.transactions > 0
+
+    def test_x_week_consistency_expires(self, mini_weather_market):
+        payless = PayLess.full(
+            mini_weather_market, consistency=ConsistencyPolicy.weeks(1)
+        )
+        payless.register_dataset("WHW")
+        payless.query("SELECT * FROM Station")
+        assert payless.query("SELECT * FROM Station").transactions == 0
+        payless.store.advance_clock(2)
+        assert payless.query("SELECT * FROM Station").transactions > 0
+
+
+class TestDownloadAll:
+    def test_first_touch_downloads_whole_table(self, mini_payless):
+        strategy = mini_payless.download_all_strategy()
+        logical = mini_payless.compile(
+            "SELECT * FROM Weather WHERE Date = 1"
+        )
+        first = strategy.execute(logical)
+        assert first.transactions == 6  # all 60 weather rows at t=10
+        assert len(first.relation.rows) == 6
+        second = strategy.execute(logical)
+        assert second.transactions == 0
+
+    def test_upfront_cost(self, mini_payless):
+        strategy = mini_payless.download_all_strategy()
+        assert strategy.upfront_cost(["Station", "Weather"]) == 1 + 6
+
+    def test_local_tables_pass_through(
+        self, mini_payless_with_local
+    ):
+        strategy = mini_payless_with_local.download_all_strategy()
+        logical = mini_payless_with_local.compile(
+            "SELECT * FROM CityInfo WHERE Zone = 1"
+        )
+        outcome = strategy.execute(logical)
+        assert outcome.transactions == 0
+        assert len(outcome.relation.rows) == 2

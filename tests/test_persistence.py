@@ -1,0 +1,78 @@
+"""Save/load of the buyer-side state: the store must survive restarts."""
+
+import pytest
+
+from repro import PayLess
+from repro.core.persistence import load_state, save_state
+from repro.errors import ReproError
+
+SQL = "SELECT * FROM Weather WHERE Country = 'CountryA' AND Date <= 6"
+
+
+def fresh(market):
+    payless = PayLess.full(market)
+    payless.register_dataset("WHW")
+    return payless
+
+
+class TestRoundTrip:
+    def test_restart_does_not_rebuy(self, mini_weather_market, tmp_path):
+        first = fresh(mini_weather_market)
+        initial = first.query(SQL)
+        assert initial.transactions > 0
+        save_state(first, tmp_path / "state.json")
+
+        # Simulated restart: new process, fresh registration, old state.
+        second = fresh(mini_weather_market)
+        load_state(second, tmp_path / "state.json")
+        repeat = second.query(SQL)
+        assert repeat.transactions == 0
+        assert sorted(repeat.rows) == sorted(initial.rows)
+
+    def test_bill_resumes(self, mini_weather_market, tmp_path):
+        first = fresh(mini_weather_market)
+        first.query(SQL)
+        save_state(first, tmp_path / "state.json")
+
+        second = fresh(mini_weather_market)
+        load_state(second, tmp_path / "state.json")
+        assert second.total_transactions == first.total_transactions
+        assert second.queries_executed == first.queries_executed
+
+    def test_histogram_restored(self, mini_weather_market, tmp_path):
+        first = fresh(mini_weather_market)
+        first.query(SQL)
+        save_state(first, tmp_path / "state.json")
+
+        second = fresh(mini_weather_market)
+        load_state(second, tmp_path / "state.json")
+        h1 = first.catalog.statistics("Weather").histogram
+        h2 = second.catalog.statistics("Weather").histogram
+        assert h2.feedback_count == h1.feedback_count
+        assert h2.estimate_full() == pytest.approx(h1.estimate_full())
+
+    def test_clock_restored(self, mini_weather_market, tmp_path):
+        first = fresh(mini_weather_market)
+        first.store.advance_clock(5)
+        save_state(first, tmp_path / "state.json")
+        second = fresh(mini_weather_market)
+        load_state(second, tmp_path / "state.json")
+        assert second.store.clock == 5
+
+
+class TestErrors:
+    def test_load_without_registration(self, mini_weather_market, tmp_path):
+        first = fresh(mini_weather_market)
+        first.query(SQL)
+        save_state(first, tmp_path / "state.json")
+
+        bare = PayLess.full(mini_weather_market)  # nothing registered
+        with pytest.raises(ReproError):
+            load_state(bare, tmp_path / "state.json")
+
+    def test_version_mismatch(self, mini_weather_market, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text('{"version": 999}')
+        payless = fresh(mini_weather_market)
+        with pytest.raises(ReproError):
+            load_state(payless, path)

@@ -1,0 +1,100 @@
+"""Unit tests for plan trees: pricing, leaves, describe output."""
+
+from repro.core.plans import (
+    JoinNode,
+    LocalBlockNode,
+    LocalScanNode,
+    MarketAccessNode,
+    market_leaves,
+    plan_price,
+)
+
+
+def access(table, cost, bind=()):
+    return MarketAccessNode(
+        relations=frozenset([table.lower()]),
+        cost=cost,
+        estimated_rows=10.0,
+        table=table,
+        bind_attributes=tuple(bind),
+        estimated_bindings=float(len(bind) or 1),
+    )
+
+
+def block(*tables):
+    return LocalBlockNode(
+        relations=frozenset(t.lower() for t in tables),
+        cost=0.0,
+        estimated_rows=5.0,
+        tables=tuple(tables),
+    )
+
+
+def join(left, right, bind=False, cartesian=False):
+    return JoinNode(
+        relations=left.relations | right.relations,
+        cost=left.cost + right.cost,
+        estimated_rows=left.estimated_rows * right.estimated_rows,
+        left=left,
+        right=right,
+        bind=bind,
+        cartesian=cartesian,
+    )
+
+
+class TestPlanPrice:
+    def test_only_market_leaves_count(self):
+        plan = join(block("Zip"), access("Weather", 7.0))
+        assert plan_price(plan) == 7.0
+
+    def test_nested_sum(self):
+        plan = join(
+            join(block("Zip"), access("Station", 1.0)),
+            access("Weather", 2.0),
+            bind=True,
+        )
+        assert plan_price(plan) == 3.0
+        assert [leaf.table for leaf in market_leaves(plan)] == [
+            "Station",
+            "Weather",
+        ]
+
+    def test_leaf_iteration_order_left_to_right(self):
+        plan = join(access("A", 1.0), access("B", 2.0))
+        assert [leaf.table for leaf in plan.leaves()] == ["A", "B"]
+
+
+class TestDescribe:
+    def test_bind_join_symbol(self):
+        plan = join(access("S", 1.0), access("W", 1.0, bind=("StationID",)), bind=True)
+        text = plan.describe()
+        assert "−→⋈" in text
+        assert "bind(StationID)" in text
+
+    def test_cartesian_symbol(self):
+        plan = join(access("A", 1.0), access("B", 1.0), cartesian=True)
+        assert "×" in plan.describe()
+
+    def test_block_lists_covered_tables(self):
+        node = LocalBlockNode(
+            relations=frozenset({"zip", "station"}),
+            cost=0.0,
+            estimated_rows=3.0,
+            tables=("Zip", "Station"),
+            covered_market_tables=("Station",),
+        )
+        assert "covered market: Station" in node.describe()
+
+    def test_local_scan(self):
+        node = LocalScanNode(
+            relations=frozenset({"zip"}),
+            cost=0.0,
+            estimated_rows=4.0,
+            table="Zip",
+        )
+        assert "LocalScan(Zip)" in node.describe()
+
+    def test_indentation(self):
+        plan = join(access("A", 1.0), access("B", 1.0))
+        lines = plan.describe().splitlines()
+        assert lines[1].startswith("  ")

@@ -1,0 +1,126 @@
+"""Unit tests for semantic query rewriting, incl. the Section 4.2 example."""
+
+import pytest
+
+from repro.core.rewriter import SemanticRewriter
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import BasicStatistics
+from repro.relational.query import AttributeConstraint
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+from repro.semstore.boxes import Box
+from repro.semstore.consistency import ConsistencyPolicy
+from repro.semstore.space import BoxSpace
+from repro.semstore.store import SemanticStore
+from repro.stats.catalog import Catalog
+
+
+def build(policy=None, cardinality=297):
+    """A 1-d table R(A[0,100]) with the Figure 6 coverage state."""
+    schema = Schema([Attribute("A", T.INT), Attribute("V", T.FLOAT)])
+    pattern = BindingPattern(table="R", modes={"A": AccessMode.FREE})
+    statistics = BasicStatistics(cardinality, {"a": Domain.numeric(0, 100)})
+    store = SemanticStore(policy)
+    catalog = Catalog()
+    space = BoxSpace.from_table("R", schema, pattern, statistics)
+    entry = catalog.register("R", schema, space, statistics)
+    store.register_table(entry.space, schema)
+    return store, catalog, entry
+
+
+def seed_figure6(store, entry):
+    """Store V1=[10,20) (28 tuples) and V2=[30,60) (91 tuples); teach the
+    histogram the exact counts of every region of Figure 6."""
+    # Rows need valid A values inside the boxes for the store's points.
+    rows_v1 = [(10 + i % 10, float(i)) for i in range(28)]
+    rows_v2 = [(30 + i % 30, float(i + 100)) for i in range(91)]
+    store.record("R", Box(((10, 20),)), rows_v1)
+    store.record("R", Box(((30, 60),)), rows_v2)
+    entry.histogram.observe(Box(((10, 20),)), 28)
+    entry.histogram.observe(Box(((30, 60),)), 91)
+    entry.histogram.observe(Box(((0, 10),)), 21)
+    entry.histogram.observe(Box(((20, 30),)), 34)
+    entry.histogram.observe(Box(((60, 101),)), 123)
+
+
+class TestFigure6Example:
+    def test_remainder_beats_naive_decomposition(self):
+        store, catalog, entry = build()
+        seed_figure6(store, entry)
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite("R", [AttributeConstraint("A", low=0, high=101)], 100)
+        # The paper's Rem2: {[0,30): 1 transaction, [60,101): 2} = 3 total,
+        # beating the naive Rem1 (4) by letting [0,30) overlap stored V1.
+        assert result.estimated_transactions == 3
+        boxes = sorted(q.box.extents for q in result.remainder)
+        assert boxes == [((0, 30),), ((60, 101),)]
+        assert result.used_rewriting
+
+    def test_direct_fetch_when_store_empty(self):
+        store, catalog, entry = build()
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=0, high=101)], 100
+        )
+        assert len(result.remainder) == 1
+        assert result.remainder[0].box == Box(((0, 101),))
+        # 297 estimated tuples -> 3 transactions.
+        assert result.estimated_transactions == 3
+
+    def test_fully_covered_is_free(self):
+        store, catalog, entry = build()
+        rows = [(k, float(k)) for k in range(0, 101)]
+        store.record("R", Box(((0, 101),)), rows)
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=5, high=50)], 100
+        )
+        assert result.fully_covered
+        assert result.estimated_transactions == 0
+        assert result.remainder == []
+        assert result.is_free
+
+    def test_disabled_rewriter_fetches_direct(self):
+        store, catalog, entry = build()
+        seed_figure6(store, entry)
+        rewriter = SemanticRewriter(store, catalog, enabled=False)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=0, high=101)], 100
+        )
+        assert not result.used_rewriting
+        assert len(result.remainder) == 1
+
+    def test_strong_consistency_forces_direct(self):
+        store, catalog, entry = build(policy=ConsistencyPolicy.strong())
+        seed_figure6(store, entry)
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=0, high=101)], 100
+        )
+        assert not result.used_rewriting
+        assert result.estimated_transactions >= 3
+
+    def test_empty_request_region(self):
+        store, catalog, entry = build()
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=500, high=600)], 100
+        )
+        assert result.fully_covered and result.is_free
+
+    def test_point_set_decomposes_into_calls(self):
+        store, catalog, entry = build()
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", values=frozenset({3, 50}))], 100
+        )
+        assert len(result.request_boxes) == 2
+
+    def test_instrumentation_counts_exposed(self):
+        store, catalog, entry = build()
+        seed_figure6(store, entry)
+        rewriter = SemanticRewriter(store, catalog)
+        result = rewriter.rewrite(
+            "R", [AttributeConstraint("A", low=0, high=101)], 100
+        )
+        assert result.enumerated_boxes >= result.kept_boxes >= 1

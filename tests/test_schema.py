@@ -1,0 +1,88 @@
+"""Unit tests for schemas and domains."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+
+
+class TestDomain:
+    def test_numeric_domain(self):
+        domain = Domain.numeric(1, 10)
+        assert domain.is_numeric
+        assert domain.width == 9
+        assert domain.contains(1) and domain.contains(10)
+        assert not domain.contains(0) and not domain.contains(11)
+
+    def test_empty_numeric_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain.numeric(5, 1)
+
+    def test_categorical_domain(self):
+        domain = Domain.categorical(["a", "b", "c"])
+        assert domain.size == 3
+        assert domain.contains("a")
+        assert not domain.contains("z")
+
+    def test_categorical_size_derived(self):
+        assert Domain.categorical({"x", "y"}).size == 2
+
+
+class TestAttribute:
+    def test_valid_name(self):
+        Attribute("Station_ID", T.INT)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name!", T.INT)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", T.INT)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [
+                Attribute("Country", T.STRING),
+                Attribute("StationID", T.INT),
+                Attribute("Date", T.DATE),
+            ]
+        )
+
+    def test_position_case_insensitive(self):
+        schema = self._schema()
+        assert schema.position("country") == 0
+        assert schema.position("STATIONID") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            self._schema().position("Nope")
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "Date" in schema
+        assert "date" in schema
+        assert "Temperature" not in schema
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("A", T.INT), Attribute("a", T.STRING)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_project_preserves_order(self):
+        schema = self._schema().project(["Date", "Country"])
+        assert schema.names == ("Date", "Country")
+
+    def test_of_shorthand(self):
+        schema = Schema.of(A=T.INT, B=T.STRING)
+        assert schema.names == ("A", "B")
+
+    def test_equality_and_hash(self):
+        assert self._schema() == self._schema()
+        assert hash(self._schema()) == hash(self._schema())

@@ -1,0 +1,93 @@
+"""Unit + property tests for the greedy weighted set cover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.set_cover import (
+    CoverCandidate,
+    cover_cost,
+    greedy_weighted_set_cover,
+)
+from repro.errors import PlanningError
+
+
+def candidate(indices, cost):
+    return CoverCandidate(covers=frozenset(indices), cost=cost)
+
+
+class TestGreedy:
+    def test_trivial_empty(self):
+        assert greedy_weighted_set_cover(0, []) == []
+
+    def test_single_covering_set(self):
+        chosen = greedy_weighted_set_cover(3, [candidate({0, 1, 2}, 5.0)])
+        assert chosen == [0]
+
+    def test_prefers_cheaper_per_element(self):
+        candidates = [
+            candidate({0, 1, 2, 3}, 4.0),   # 1.0 per element
+            candidate({0, 1}, 1.0),          # 0.5 per element
+            candidate({2, 3}, 1.0),          # 0.5 per element
+        ]
+        chosen = greedy_weighted_set_cover(4, candidates)
+        assert sorted(chosen) == [1, 2]
+        assert cover_cost(candidates, chosen) == 2.0
+
+    def test_big_cheap_set_wins(self):
+        candidates = [
+            candidate({0, 1, 2, 3}, 2.0),
+            candidate({0}, 1.0),
+            candidate({1}, 1.0),
+            candidate({2}, 1.0),
+            candidate({3}, 1.0),
+        ]
+        assert greedy_weighted_set_cover(4, candidates) == [0]
+
+    def test_zero_cost_sets_always_taken(self):
+        candidates = [candidate({0, 1}, 0.0), candidate({2}, 3.0)]
+        chosen = greedy_weighted_set_cover(3, candidates)
+        assert sorted(chosen) == [0, 1]
+
+    def test_infeasible_raises(self):
+        with pytest.raises(PlanningError):
+            greedy_weighted_set_cover(3, [candidate({0, 1}, 1.0)])
+
+    def test_candidate_must_cover_something(self):
+        with pytest.raises(PlanningError):
+            candidate(set(), 1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PlanningError):
+            candidate({0}, -1.0)
+
+    def test_deterministic_tie_break(self):
+        candidates = [candidate({0}, 1.0), candidate({0}, 1.0)]
+        assert greedy_weighted_set_cover(1, candidates) == [0]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n=st.integers(1, 10),
+    data=st.data(),
+)
+def test_greedy_always_covers_when_feasible(n, data):
+    """If singletons exist for every element, greedy returns a full cover."""
+    singles = [candidate({i}, float(data.draw(st.integers(1, 5)))) for i in range(n)]
+    extras = data.draw(
+        st.lists(
+            st.tuples(
+                st.sets(st.integers(0, n - 1), min_size=1),
+                st.integers(0, 10),
+            ),
+            max_size=6,
+        )
+    )
+    candidates = singles + [candidate(s, float(c)) for s, c in extras]
+    chosen = greedy_weighted_set_cover(n, candidates)
+    covered = set()
+    for index in chosen:
+        covered |= candidates[index].covers
+    assert covered == set(range(n))
+    # Never more expensive than taking every singleton.
+    assert cover_cost(candidates, chosen) <= sum(c.cost for c in singles)

@@ -1,0 +1,186 @@
+"""Unit tests for box spaces: constraint ↔ box conversion."""
+
+import pytest
+
+from repro.errors import MarketError, StatisticsError
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import BasicStatistics
+from repro.relational.query import AttributeConstraint
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace, Dimension
+
+
+@pytest.fixture
+def space():
+    """Country (categorical: CA < DE < US), Rank numeric [1, 100]."""
+    schema = Schema(
+        [
+            Attribute("Country", T.STRING),
+            Attribute("Rank", T.INT),
+            Attribute("Payload", T.FLOAT),
+        ]
+    )
+    pattern = BindingPattern(
+        table="R",
+        modes={"Country": AccessMode.FREE, "Rank": AccessMode.FREE},
+    )
+    statistics = BasicStatistics(
+        cardinality=300,
+        domains={
+            "country": Domain.categorical(["US", "CA", "DE"]),
+            "rank": Domain.numeric(1, 100),
+        },
+    )
+    return BoxSpace.from_table("R", schema, pattern, statistics)
+
+
+class TestConstruction:
+    def test_dimensions(self, space):
+        assert space.dimensionality == 2
+        country, rank = space.dimensions
+        assert country.is_categorical and country.values == ("CA", "DE", "US")
+        assert (rank.low, rank.high) == (1, 101)
+
+    def test_float_attribute_skipped(self, space):
+        assert not space.has_dimension("Payload")
+
+    def test_full_box(self, space):
+        assert space.full_box == Box(((0, 3), (1, 101)))
+
+    def test_missing_domain_raises(self):
+        schema = Schema([Attribute("A", T.INT)])
+        pattern = BindingPattern(table="R", modes={"A": AccessMode.FREE})
+        with pytest.raises(StatisticsError):
+            BoxSpace.from_table(
+                "R", schema, pattern, BasicStatistics(10, {})
+            )
+
+
+class TestConstraintsToBoxes:
+    def test_unconstrained_is_full_box(self, space):
+        assert space.boxes_for_constraints([]) == [space.full_box]
+
+    def test_point_categorical(self, space):
+        boxes = space.boxes_for_constraints(
+            [AttributeConstraint("Country", value="US")]
+        )
+        assert boxes == [Box(((2, 3), (1, 101)))]
+
+    def test_point_off_domain_yields_empty(self, space):
+        assert space.boxes_for_constraints(
+            [AttributeConstraint("Country", value="FR")]
+        ) == []
+
+    def test_range_numeric_clipped(self, space):
+        boxes = space.boxes_for_constraints(
+            [AttributeConstraint("Rank", low=50, high=500)]
+        )
+        assert boxes == [Box(((0, 3), (50, 101)))]
+
+    def test_empty_range_after_clip(self, space):
+        assert space.boxes_for_constraints(
+            [AttributeConstraint("Rank", low=500)]
+        ) == []
+
+    def test_point_set_fans_out(self, space):
+        boxes = space.boxes_for_constraints(
+            [AttributeConstraint("Country", values=frozenset({"US", "CA"}))]
+        )
+        assert len(boxes) == 2
+        assert all(box.extents[1] == (1, 101) for box in boxes)
+
+    def test_two_set_constraints_cross_product(self, space):
+        boxes = space.boxes_for_constraints(
+            [
+                AttributeConstraint("Country", values=frozenset({"US", "CA"})),
+                AttributeConstraint("Rank", values=frozenset({3, 7})),
+            ]
+        )
+        assert len(boxes) == 4
+
+    def test_conflicting_constraints_empty(self, space):
+        assert space.boxes_for_constraints(
+            [
+                AttributeConstraint("Rank", low=10, high=20),
+                AttributeConstraint("Rank", low=30, high=40),
+            ]
+        ) == []
+
+    def test_non_dimension_constraint_ignored(self, space):
+        boxes = space.boxes_for_constraints(
+            [AttributeConstraint("Payload", value=3.0)]
+        )
+        assert boxes == [space.full_box]
+
+
+class TestBoxesToConstraints:
+    def test_round_trip_point_and_range(self, space):
+        box = Box(((2, 3), (10, 20)))
+        constraints = space.constraints_for_box(box)
+        by_name = {c.attribute: c for c in constraints}
+        assert by_name["Country"].value == "US"
+        assert (by_name["Rank"].low, by_name["Rank"].high) == (10, 20)
+
+    def test_full_extents_omitted(self, space):
+        assert space.constraints_for_box(space.full_box) == ()
+
+    def test_width_one_numeric_becomes_point(self, space):
+        constraints = space.constraints_for_box(Box(((0, 3), (5, 6))))
+        assert constraints[0].value == 5
+
+    def test_partial_categorical_rejected(self, space):
+        with pytest.raises(MarketError):
+            space.constraints_for_box(Box(((0, 2), (1, 101))))
+
+    def test_expressible(self, space):
+        assert space.expressible(space.full_box)
+        assert space.expressible(Box(((1, 2), (1, 101))))
+        assert not space.expressible(Box(((0, 2), (1, 101))))
+
+
+class TestBoundDimensions:
+    def _bound_space(self, categorical_bound):
+        schema = Schema(
+            [Attribute("K", T.STRING if categorical_bound else T.INT)]
+        )
+        pattern = BindingPattern(table="R", modes={"K": AccessMode.BOUND})
+        domains = (
+            {"k": Domain.categorical(["a", "b"])}
+            if categorical_bound
+            else {"k": Domain.numeric(0, 9)}
+        )
+        return BoxSpace.from_table(
+            "R", schema, pattern, BasicStatistics(10, domains)
+        )
+
+    def test_bound_numeric_full_extent_gets_explicit_range(self):
+        space = self._bound_space(categorical_bound=False)
+        constraints = space.constraints_for_box(space.full_box)
+        assert constraints[0].low == 0 and constraints[0].high == 10
+
+    def test_bound_categorical_full_extent_inexpressible(self):
+        space = self._bound_space(categorical_bound=True)
+        assert not space.expressible(space.full_box)
+        with pytest.raises(MarketError):
+            space.constraints_for_box(space.full_box)
+
+
+class TestRowPoints:
+    def test_row_point(self, space):
+        schema = Schema(
+            [
+                Attribute("Country", T.STRING),
+                Attribute("Rank", T.INT),
+                Attribute("Payload", T.FLOAT),
+            ]
+        )
+        assert space.row_point(("US", 42, 1.0), schema) == (2, 42)
+        assert space.row_point(("FR", 42, 1.0), schema) is None
+        assert space.row_point(("US", 4200, 1.0), schema) is None
+
+    def test_dimension_value_round_trip(self, space):
+        country = space.dimensions[0]
+        for value in ("CA", "DE", "US"):
+            assert country.value_at(country.index_of(value)) == value

@@ -1,0 +1,119 @@
+"""Pluggable statistics: independence and uniform alternatives to ISOMER."""
+
+import pytest
+
+from repro import PayLess
+from repro.errors import StatisticsError
+from repro.market.binding import AccessMode, BindingPattern
+from repro.market.dataset import BasicStatistics
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.types import AttributeType as T
+from repro.semstore.boxes import Box
+from repro.semstore.space import BoxSpace
+from repro.stats.interface import STATISTIC_FACTORIES, make_statistic
+from repro.stats.onedim import IndependenceHistogram, UniformStatistic
+
+
+def space_2d(width=10):
+    schema = Schema([Attribute("A", T.INT), Attribute("B", T.INT)])
+    pattern = BindingPattern(
+        table="R", modes={"A": AccessMode.FREE, "B": AccessMode.FREE}
+    )
+    return BoxSpace.from_table(
+        "R",
+        schema,
+        pattern,
+        BasicStatistics(
+            0,
+            {
+                "a": Domain.numeric(0, width - 1),
+                "b": Domain.numeric(0, width - 1),
+            },
+        ),
+    )
+
+
+class TestFactories:
+    def test_registry(self):
+        assert set(STATISTIC_FACTORIES) == {
+            "isomer",
+            "independence",
+            "uniform",
+        }
+
+    def test_unknown_kind(self):
+        with pytest.raises(StatisticsError):
+            make_statistic("magic", space_2d(), 10)
+
+    @pytest.mark.parametrize("kind", sorted(STATISTIC_FACTORIES))
+    def test_protocol_shape(self, kind):
+        statistic = make_statistic(kind, space_2d(), 100)
+        assert statistic.estimate_full() == pytest.approx(100.0)
+        statistic.observe(Box(((0, 5), (0, 10))), 30)
+        assert statistic.estimate(Box(((0, 5), (0, 10)))) >= 0.0
+
+
+class TestIndependence:
+    def test_uniform_prior(self):
+        statistic = IndependenceHistogram(space_2d(10), 100)
+        assert statistic.estimate(Box(((0, 5), (0, 5)))) == pytest.approx(25.0)
+
+    def test_learns_marginal_from_full_slab(self):
+        statistic = IndependenceHistogram(space_2d(10), 100)
+        # A slab covering all of B but half of A: exact marginal for A.
+        statistic.observe(Box(((0, 5), (0, 10))), 80)
+        assert statistic.estimate(Box(((0, 5), (0, 10)))) == pytest.approx(80.0)
+        assert statistic.estimate(Box(((5, 10), (0, 10)))) == pytest.approx(20.0)
+
+    def test_ignores_partial_feedback(self):
+        statistic = IndependenceHistogram(space_2d(10), 100)
+        statistic.observe(Box(((0, 5), (0, 5))), 77)  # partial on both dims
+        # Still the uniform prior: the marginal histograms saw nothing.
+        assert statistic.estimate(Box(((0, 5), (0, 5)))) == pytest.approx(25.0)
+
+    def test_whole_table_feedback_corrects_cardinality(self):
+        statistic = IndependenceHistogram(space_2d(10), 100)
+        statistic.observe(Box(((0, 10), (0, 10))), 40)
+        assert statistic.estimate_full() == pytest.approx(40.0)
+
+    def test_cannot_capture_correlation(self):
+        """The documented blind spot: diagonal data fools independence."""
+        statistic = IndependenceHistogram(space_2d(10), 100)
+        statistic.observe(Box(((0, 5), (0, 10))), 50)
+        statistic.observe(Box(((0, 10), (0, 5))), 50)
+        # True data might be entirely in the (A<5, B<5) quadrant, but
+        # independence can only ever say 25.
+        assert statistic.estimate(Box(((0, 5), (0, 5)))) == pytest.approx(25.0)
+
+
+class TestUniform:
+    def test_never_learns(self):
+        statistic = UniformStatistic(space_2d(10), 100)
+        statistic.observe(Box(((0, 5), (0, 10))), 0)
+        assert statistic.estimate(Box(((0, 5), (0, 10)))) == pytest.approx(50.0)
+        assert statistic.feedback_count == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("kind", sorted(STATISTIC_FACTORIES))
+    def test_payless_correct_under_any_statistic(
+        self, mini_weather_market, kind
+    ):
+        payless = PayLess.full(mini_weather_market, statistic=kind)
+        payless.register_dataset("WHW")
+        result = payless.query(
+            "SELECT Temperature FROM Station, Weather "
+            "WHERE City = 'Beta' AND Station.StationID = Weather.StationID"
+        )
+        assert len(result.rows) == 10  # station 3, all 10 days
+
+    def test_statistics_affect_cost_not_answers(self, mini_weather_market):
+        answers = {}
+        for kind in sorted(STATISTIC_FACTORIES):
+            payless = PayLess.full(mini_weather_market, statistic=kind)
+            payless.register_dataset("WHW")
+            result = payless.query(
+                "SELECT * FROM Weather WHERE Date >= 2 AND Date <= 4"
+            )
+            answers[kind] = sorted(result.rows)
+        assert len({repr(rows) for rows in answers.values()}) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the row-store table."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType as T
+
+
+@pytest.fixture
+def table():
+    schema = Schema(
+        [
+            Attribute("City", T.STRING),
+            Attribute("Pop", T.INT),
+        ]
+    )
+    return Table("Cities", schema, [("Seattle", 750), ("Boston", 690)])
+
+
+class TestAppend:
+    def test_append_and_len(self, table):
+        table.append(("Austin", 980))
+        assert len(table) == 3
+
+    def test_wrong_width(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.append(("OnlyCity",))
+
+    def test_wrong_type(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.append(("Austin", "many"))
+
+    def test_coercion_applied(self, table):
+        table.append(("Austin", 980.0))
+        assert table.rows[-1] == ("Austin", 980)
+
+    def test_empty_name_rejected(self, table):
+        with pytest.raises(SchemaError):
+            Table("", table.schema)
+
+
+class TestAccessors:
+    def test_column(self, table):
+        assert table.column("City") == ["Seattle", "Boston"]
+
+    def test_distinct(self, table):
+        table.append(("Seattle", 1))
+        assert table.distinct("City") == {"Seattle", "Boston"}
+
+    def test_select(self, table):
+        big = table.select(lambda row: row[1] > 700)
+        assert big == [("Seattle", 750)]
+
+    def test_getter(self, table):
+        get_pop = table.getter("Pop")
+        assert [get_pop(row) for row in table] == [750, 690]
+
+    def test_iteration_order(self, table):
+        assert list(table) == [("Seattle", 750), ("Boston", 690)]

@@ -1,0 +1,81 @@
+"""Unit tests for the relational type system."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import AttributeType, comparable
+
+
+class TestCoerce:
+    def test_int_accepts_int(self):
+        assert AttributeType.INT.coerce(42) == 42
+
+    def test_int_accepts_integral_float(self):
+        assert AttributeType.INT.coerce(42.0) == 42
+        assert isinstance(AttributeType.INT.coerce(42.0), int)
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.coerce(4.2)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.coerce(True)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.INT.coerce("42")
+
+    def test_date_behaves_like_int(self):
+        assert AttributeType.DATE.coerce(20140601) == 20140601
+
+    def test_float_accepts_int(self):
+        value = AttributeType.FLOAT.coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.FLOAT.coerce(False)
+
+    def test_string_accepts_str(self):
+        assert AttributeType.STRING.coerce("Seattle") == "Seattle"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.STRING.coerce(5)
+
+    def test_none_rejected_everywhere(self):
+        for attribute_type in AttributeType:
+            with pytest.raises(TypeMismatchError):
+                attribute_type.coerce(None)
+
+
+class TestClassification:
+    def test_numeric_flags(self):
+        assert AttributeType.INT.is_numeric
+        assert AttributeType.FLOAT.is_numeric
+        assert AttributeType.DATE.is_numeric
+        assert not AttributeType.STRING.is_numeric
+
+    def test_categorical_flags(self):
+        assert AttributeType.STRING.is_categorical
+        assert not AttributeType.INT.is_categorical
+
+    def test_validates(self):
+        assert AttributeType.INT.validates(7)
+        assert not AttributeType.INT.validates(7.5)
+        assert not AttributeType.INT.validates("7")
+        assert AttributeType.STRING.validates("x")
+
+
+class TestComparable:
+    def test_same_types(self):
+        assert comparable(AttributeType.STRING, AttributeType.STRING)
+
+    def test_numeric_cross(self):
+        assert comparable(AttributeType.INT, AttributeType.FLOAT)
+        assert comparable(AttributeType.DATE, AttributeType.INT)
+
+    def test_string_vs_numeric(self):
+        assert not comparable(AttributeType.STRING, AttributeType.INT)
