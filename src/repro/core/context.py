@@ -48,6 +48,10 @@ class LocalTableInfo:
 class PlanningContext:
     """Shared state for planning and executing one buyer's queries."""
 
+    #: Default in-flight REST call bound for executors built on a context
+    #: that does not override it.  1 = serial fetch.
+    DEFAULT_MAX_CONCURRENT_CALLS = 4
+
     def __init__(
         self,
         market: DataMarket,
@@ -55,12 +59,22 @@ class PlanningContext:
         store: SemanticStore,
         rewriter: SemanticRewriter,
         local_db: Database,
+        max_concurrent_calls: int | None = None,
     ):
         self.market = market
         self.catalog = catalog
         self.store = store
         self.rewriter = rewriter
         self.local_db = local_db
+        if max_concurrent_calls is not None and max_concurrent_calls < 1:
+            raise PlanningError("max_concurrent_calls must be >= 1")
+        #: Upper bound on concurrently in-flight market calls per table
+        #: access during execution (see :mod:`repro.core.executor`).
+        self.max_concurrent_calls = (
+            max_concurrent_calls
+            if max_concurrent_calls is not None
+            else self.DEFAULT_MAX_CONCURRENT_CALLS
+        )
         self._local_info: dict[str, LocalTableInfo] = {}
         self._dataset_of: dict[str, str] = {}
         self._schemas: dict[str, Schema] = {}

@@ -8,11 +8,23 @@ statistics (Figure 3, steps 5.1-5.4).  Intermediate joins are materialized
 only to obtain bind-join values; the final answer is produced the way the
 paper's architecture does it — all required rows are staged into the local
 DBMS and the whole query is evaluated there (steps 6-8).
+
+Remainder REST calls within one table access are independent (their boxes
+are disjoint and the market is read-only), so they are dispatched through
+a thread pool of ``max_concurrent_calls`` workers.  Responses are recorded
+into the store and statistics serially in remainder order, which keeps
+every downstream state — coverage, histograms, billing totals — identical
+to serial execution; only wall-clock changes, reported both ways as
+``market_time_ms`` (serial sum) and ``market_time_critical_path_ms``
+(simulated makespan under the concurrency limit).
 """
 
 from __future__ import annotations
 
+import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.context import PlanningContext
 from repro.core.plans import (
@@ -42,6 +54,27 @@ class ExecutionResult:
     fetched_records: int
     #: Simulated wall-clock spent on REST calls (serial sum).
     market_time_ms: float = 0.0
+    #: Simulated wall-clock with ``max_concurrent_calls`` in-flight calls:
+    #: the critical path of the fetch schedule.  Equals ``market_time_ms``
+    #: when executing serially.
+    market_time_critical_path_ms: float = 0.0
+
+
+def _makespan(durations_ms: Sequence[float], workers: int) -> float:
+    """List-scheduling makespan of ``durations_ms`` over ``workers`` lanes.
+
+    Models the thread pool's in-order greedy assignment; with one worker it
+    degenerates to the serial sum.
+    """
+    if not durations_ms:
+        return 0.0
+    lanes = min(workers, len(durations_ms))
+    if lanes <= 1:
+        return float(sum(durations_ms))
+    heap = [0.0] * lanes
+    for duration in durations_ms:
+        heapq.heapreplace(heap, heap[0] + duration)
+    return max(heap)
 
 
 class _Fetched:
@@ -114,10 +147,26 @@ class _Fetched:
 
 
 class Executor:
-    """Executes one optimized plan for one logical query."""
+    """Executes one optimized plan for one logical query.
 
-    def __init__(self, context: PlanningContext):
+    ``max_concurrent_calls`` bounds in-flight REST calls per table access;
+    ``None`` inherits the planning context's setting, and ``1`` executes
+    serially (bit-for-bit the historical behaviour).
+    """
+
+    def __init__(
+        self,
+        context: PlanningContext,
+        max_concurrent_calls: int | None = None,
+    ):
         self.context = context
+        self.max_concurrent_calls = (
+            max_concurrent_calls
+            if max_concurrent_calls is not None
+            else context.max_concurrent_calls
+        )
+        if self.max_concurrent_calls < 1:
+            raise ExecutionError("max_concurrent_calls must be >= 1")
 
     def execute(self, query: LogicalQuery, plan: PlanNode) -> ExecutionResult:
         ledger = self.context.market.ledger
@@ -129,6 +178,7 @@ class Executor:
 
         self._query = query
         self._staged: dict[str, list] = {}
+        self._critical_path_ms = 0.0
         self._fetch(plan)
 
         staging = self._build_staging(query)
@@ -141,6 +191,7 @@ class Executor:
             calls=ledger.total_calls - calls_before,
             fetched_records=ledger.total_records - records_before,
             market_time_ms=ledger.total_elapsed_ms - elapsed_before,
+            market_time_critical_path_ms=self._critical_path_ms,
         )
 
     # ------------------------------------------------------------------ fetching
@@ -230,12 +281,23 @@ class Executor:
         rewrite = self.context.rewriter.rewrite(
             table, constraints, self.context.tuples_per_transaction(table)
         )
+        # Staleness guard: this rewrite decides what money to spend, so it
+        # must reflect the store *now* — not the epoch the optimizer
+        # planned at (earlier fetches of this very plan mutate the store).
+        # The rewriter's memo keys on the epoch, so this can only trip if
+        # a stale-caching bug is reintroduced somewhere upstream.
+        current_epoch = self.context.store.epoch_of(table)
+        if rewrite.store_epoch != current_epoch:
+            raise ExecutionError(
+                f"stale rewrite for {table!r}: computed at store epoch "
+                f"{rewrite.store_epoch}, executing at {current_epoch}"
+            )
         dataset = self.context.dataset_of(table)
         statistics = self.context.catalog.statistics(table)
-        for remainder in rewrite.remainder:
-            response = self.context.market.get(
-                RestRequest(dataset, table, remainder.constraints)
-            )
+        responses = self._issue_market_calls(dataset, table, rewrite.remainder)
+        # Record serially in remainder order: store coverage, histogram
+        # feedback, and billing totals end up identical to serial fetch.
+        for remainder, response in zip(rewrite.remainder, responses):
             self.context.store.record(table, remainder.box, response.rows)
             statistics.histogram.observe(remainder.box, response.record_count)
 
@@ -255,6 +317,31 @@ class Executor:
                 seen.add(row)
                 staged.append(row)
         return relation
+
+    def _issue_market_calls(self, dataset, table, remainders) -> list:
+        """Issue the remainder GETs, concurrently when allowed.
+
+        Remainder boxes are disjoint and the market is read-only, so the
+        calls commute; responses come back in request order either way.
+        """
+        requests = [
+            RestRequest(dataset, table, remainder.constraints)
+            for remainder in remainders
+        ]
+        limit = self.max_concurrent_calls
+        if limit > 1 and len(requests) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(limit, len(requests))
+            ) as pool:
+                responses = list(pool.map(self.context.market.get, requests))
+        else:
+            responses = [
+                self.context.market.get(request) for request in requests
+            ]
+        self._critical_path_ms += _makespan(
+            [response.elapsed_ms for response in responses], limit
+        )
+        return responses
 
     def _empty_relation(self, table: str) -> Relation:
         self._staged.setdefault(table.lower(), [])

@@ -93,7 +93,6 @@ class Optimizer:
         self._evaluated = 0
         self._enumerated_boxes = 0
         self._kept_boxes = 0
-        self._rewrite_cache: dict = {}
 
         market_tables = [t for t in query.tables if self.context.is_market(t)]
         local_tables = [t for t in query.tables if not self.context.is_market(t)]
@@ -451,23 +450,24 @@ class Optimizer:
         return float(rewrite.estimated_transactions)
 
     def _rewrite(self, table: str) -> RewriteResult:
-        key = table.lower()
-        cached = self._rewrite_cache.get(key)
-        if cached is not None:
-            return cached
+        """Rewrite a table access for costing.
+
+        No per-optimizer cache: the rewriter memoizes on the store epoch
+        (plus constraints/page size/switches), so the many probes one DP
+        run makes are cache hits there — and unlike a per-query cache, the
+        memo can never serve a result computed before a store mutation.
+        """
         rewriter = self.context.rewriter
         previous = rewriter.enabled
         rewriter.enabled = previous and self.options.use_sqr
         try:
-            result = rewriter.rewrite(
+            return rewriter.rewrite(
                 table,
                 self._query.constraints_for(table),
                 self.context.tuples_per_transaction(table),
             )
         finally:
             rewriter.enabled = previous
-        self._rewrite_cache[key] = result
-        return result
 
     # ------------------------------------------------------------- feasibility
 

@@ -76,8 +76,11 @@ class QueryResult:
     evaluated_plans: int
     enumerated_boxes: int
     kept_boxes: int
-    #: Simulated wall-clock the market calls would have taken.
+    #: Simulated wall-clock the market calls would have taken (serial sum).
     market_time_ms: float = 0.0
+    #: Simulated wall-clock under the installation's concurrency limit
+    #: (critical path of the parallel fetch schedule).
+    market_time_critical_path_ms: float = 0.0
 
     @property
     def rows(self) -> list[tuple]:
@@ -99,6 +102,7 @@ class PayLess:
         options: OptimizerOptions | None = None,
         prune_bounding_boxes: bool = True,
         statistic: str = "isomer",
+        max_concurrent_calls: int | None = None,
     ):
         self.market = market
         self.options = options or OptimizerOptions()
@@ -120,6 +124,7 @@ class PayLess:
             store=self.store,
             rewriter=self.rewriter,
             local_db=self.local_db,
+            max_concurrent_calls=max_concurrent_calls,
         )
         for table in self.local_db:
             self.context.register_local(table)
@@ -233,6 +238,7 @@ class PayLess:
             enumerated_boxes=planning.enumerated_boxes,
             kept_boxes=planning.kept_boxes,
             market_time_ms=execution.market_time_ms,
+            market_time_critical_path_ms=execution.market_time_critical_path_ms,
         )
 
     def query_batch(

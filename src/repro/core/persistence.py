@@ -101,24 +101,20 @@ def load_state(payless: PayLess, path: str | Path) -> None:
             )
         table_store = payless.store.table(key)
         rows = [tuple(row) for row in table_state["rows"]]
-        # Reinsert rows (dedup + grid points), then restore the exact
-        # covered-region list (record() would re-consolidate, so the list
-        # is written directly for fidelity).
+        # Reinsert rows (dedup + grid points + point index), then restore
+        # the exact covered-region list (record() would re-consolidate, so
+        # covers are re-inserted verbatim for fidelity).  Both restore
+        # paths bump the table epoch, invalidating any memoized rewrites.
         for row in rows:
-            if row not in table_store._row_set:  # noqa: SLF001
-                table_store._row_set.add(row)  # noqa: SLF001
-                table_store._rows.append(row)  # noqa: SLF001
-                table_store._points.append(  # noqa: SLF001
-                    table_store.space.row_point(row, table_store.schema)
+            table_store.restore_row(row)
+        for covered in table_state["covered"]:
+            table_store.restore_cover(
+                CoveredBox(
+                    box=_box_from_json(covered["box"]),
+                    stored_at=covered["stored_at"],
+                    row_count=covered["row_count"],
                 )
-        table_store.covered.extend(
-            CoveredBox(
-                box=_box_from_json(covered["box"]),
-                stored_at=covered["stored_at"],
-                row_count=covered["row_count"],
             )
-            for covered in table_state["covered"]
-        )
         from repro.stats.isomer import FeedbackHistogram
 
         histogram = payless.catalog.statistics(key).histogram

@@ -71,6 +71,10 @@ class RewriteResult:
     kept_boxes: int = 0
     #: Estimated rows the remainder queries will pull from the market.
     estimated_remainder_rows: float = 0.0
+    #: The store epoch of ``table`` this result was computed at.  A result
+    #: is only valid while the store is at this epoch; the executor asserts
+    #: it before issuing any REST call (see ``core.executor``).
+    store_epoch: int = -1
 
     @property
     def is_free(self) -> bool:
@@ -78,7 +82,22 @@ class RewriteResult:
 
 
 class SemanticRewriter:
-    """Rewrites table accesses against a semantic store + catalog."""
+    """Rewrites table accesses against a semantic store + catalog.
+
+    ``rewrite()`` results are memoized per ``(table, constraints, page
+    size, enabled-switch, clock, store epoch)``.  The epoch component makes
+    invalidation automatic: any store mutation (``record`` or a persisted
+    restore) bumps the table epoch, so the optimizer's many probe rewrites
+    within one DP run — and repeat queries between store writes — hit the
+    cache, while execution-time rewrites after a purchase never reuse a
+    planning-epoch result.  Cached :class:`RewriteResult` objects are
+    shared between callers and must be treated as immutable.
+    """
+
+    #: Memo entries are cheap (the results are shared, not copied), but a
+    #: long-lived installation should not grow without bound; the whole
+    #: memo is dropped past this size (practically never in one session).
+    MEMO_CAP = 4096
 
     def __init__(
         self,
@@ -93,10 +112,57 @@ class SemanticRewriter:
         self.enabled = enabled
         #: Algorithm 1 pruning switch — the "No Pruning" arm of Figure 15.
         self.prune = prune
+        self._memo: dict[tuple, RewriteResult] = {}
+        #: Memoization observability (asserted by tests, shown in benches).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of ``rewrite()`` calls answered from the memo."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     # -- public API -----------------------------------------------------------
 
     def rewrite(
+        self,
+        table: str,
+        constraints: Sequence[AttributeConstraint],
+        tuples_per_transaction: int,
+    ) -> RewriteResult:
+        """Compute (or recall) the cheapest set of REST calls for a request."""
+        epoch = self.store.epoch_of(table)
+        key = (
+            table.lower(),
+            tuple(constraints),
+            tuples_per_transaction,
+            self.enabled,
+            self.prune,
+            self.store.clock,
+            epoch,
+        )
+        try:
+            hash(key)
+        except TypeError:  # unhashable constraint value: compute uncached
+            key = None
+        if key is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        result = self._rewrite_uncached(
+            table, constraints, tuples_per_transaction
+        )
+        result.store_epoch = epoch
+        if key is not None:
+            if len(self._memo) >= self.MEMO_CAP:
+                self._memo.clear()
+            self._memo[key] = result
+        return result
+
+    def _rewrite_uncached(
         self,
         table: str,
         constraints: Sequence[AttributeConstraint],

@@ -8,6 +8,7 @@ harness snapshot the cumulative series after each user query.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -27,10 +28,16 @@ class LedgerEntry:
 
 
 class BillingLedger:
-    """Append-only record of billed calls with per-dataset aggregation."""
+    """Append-only record of billed calls with per-dataset aggregation.
+
+    ``record`` is thread-safe: the executor dispatches independent
+    remainder calls concurrently (see ``core.executor``), and every one of
+    them bills through this single ledger.
+    """
 
     def __init__(self) -> None:
         self._entries: list[LedgerEntry] = []
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -43,7 +50,8 @@ class BillingLedger:
         entry = LedgerEntry(
             request, record_count, transactions, price, elapsed_ms
         )
-        self._entries.append(entry)
+        with self._lock:
+            self._entries.append(entry)
         return entry
 
     def __len__(self) -> int:

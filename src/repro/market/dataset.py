@@ -9,6 +9,7 @@ their data with.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -49,8 +50,10 @@ class MarketTable:
         #: Lazy hash indexes (attribute -> value -> rows) — the real
         #: marketplace backends index their data; without this every GET
         #: call would scan the full table, which dominates simulation time
-        #: for bind joins issuing thousands of point calls.
+        #: for bind joins issuing thousands of point calls.  Built under a
+        #: lock: the executor issues independent GETs concurrently.
         self._indexes: dict[str, dict] = {}
+        self._index_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -87,11 +90,14 @@ class MarketTable:
         key = attribute.lower()
         index = self._indexes.get(key)
         if index is None:
-            position = self.schema.position(attribute)
-            index = {}
-            for row in self.table:
-                index.setdefault(row[position], []).append(row)
-            self._indexes[key] = index
+            with self._index_lock:
+                index = self._indexes.get(key)
+                if index is None:
+                    position = self.schema.position(attribute)
+                    index = {}
+                    for row in self.table:
+                        index.setdefault(row[position], []).append(row)
+                    self._indexes[key] = index
         return index
 
     def rows_matching(self, request) -> list:

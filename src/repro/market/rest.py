@@ -88,6 +88,9 @@ class RestResponse:
     schema: Schema
     transactions: int
     price: float
+    #: Simulated wall-clock of this call (the market's latency model);
+    #: the executor reads it to compute critical-path fetch time.
+    elapsed_ms: float = 0.0
 
     @property
     def record_count(self) -> int:

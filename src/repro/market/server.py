@@ -69,7 +69,14 @@ class DataMarket:
     # -- the RESTful interface --------------------------------------------------
 
     def get(self, request: RestRequest) -> RestResponse:
-        """Execute one GET call, bill it, and return the matching records."""
+        """Execute one GET call, bill it, and return the matching records.
+
+        Thread-safe: calls are read-only against published data (lazy row
+        indexes build under their own lock) and billing appends under the
+        ledger's lock, so the executor may issue independent calls
+        concurrently.  ``publish``/``append`` are not meant to race with
+        in-flight GETs, mirroring a real market's release windows.
+        """
         dataset = self.dataset(request.dataset)
         if request.table not in dataset:
             raise MarketError(
@@ -81,12 +88,13 @@ class DataMarket:
         rows = tuple(market_table.rows_matching(request))
         transactions = dataset.pricing.transactions_for(len(rows))
         price = dataset.pricing.price_for(len(rows))
+        elapsed_ms = self.latency.call_ms(transactions)
         self.ledger.record(
             request,
             len(rows),
             transactions,
             price,
-            elapsed_ms=self.latency.call_ms(transactions),
+            elapsed_ms=elapsed_ms,
         )
         return RestResponse(
             request=request,
@@ -94,6 +102,7 @@ class DataMarket:
             schema=market_table.schema,
             transactions=transactions,
             price=price,
+            elapsed_ms=elapsed_ms,
         )
 
     @staticmethod

@@ -33,7 +33,7 @@ class BoxError(ReproError):
     """A box operation received incompatible or degenerate input."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Box:
     """An axis-aligned d-dimensional box with half-open integer extents."""
 
@@ -43,6 +43,18 @@ class Box:
         for low, high in self.extents:
             if low >= high:
                 raise BoxError(f"degenerate extent [{low}, {high})")
+
+    @classmethod
+    def unchecked(cls, extents: tuple[Extent, ...]) -> "Box":
+        """Trusted constructor for internal hot paths.
+
+        Skips ``__post_init__`` validation; callers must guarantee every
+        extent is non-degenerate (true whenever the extents are derived
+        from already-validated boxes — intersection, subtraction, merge).
+        """
+        box = object.__new__(cls)
+        object.__setattr__(box, "extents", extents)
+        return box
 
     @property
     def dimensions(self) -> int:
@@ -63,12 +75,13 @@ class Box:
         )
 
     def contains_point(self, point: Sequence[int]) -> bool:
-        if len(point) != self.dimensions:
+        extents = self.extents
+        if len(point) != len(extents):
             raise BoxError("point dimensionality mismatch")
-        return all(
-            low <= value < high
-            for (low, high), value in zip(self.extents, point)
-        )
+        for (low, high), value in zip(extents, point):
+            if value < low or value >= high:
+                return False
+        return True
 
     def intersect(self, other: "Box") -> "Box | None":
         """The overlap box, or ``None`` when disjoint."""
@@ -76,13 +89,14 @@ class Box:
         if len(mine) != len(theirs):
             self._check_compatible(other)
         extents: list[Extent] = []
+        append = extents.append
         for (low_a, high_a), (low_b, high_b) in zip(mine, theirs):
             low = low_a if low_a >= low_b else low_b
             high = high_a if high_a <= high_b else high_b
             if low >= high:
                 return None
-            extents.append((low, high))
-        return Box(tuple(extents))
+            append((low, high))
+        return Box.unchecked(tuple(extents))
 
     def overlaps(self, other: "Box") -> bool:
         return self.intersect(other) is not None
@@ -92,19 +106,21 @@ class Box:
         overlap = self.intersect(other)
         if overlap is None:
             return [self]
+        unchecked = Box.unchecked
         pieces: list[Box] = []
         remaining = list(self.extents)
+        overlap_extents = overlap.extents
         for axis in range(len(remaining)):
             low, high = remaining[axis]
-            cut_low, cut_high = overlap.extents[axis]
+            cut_low, cut_high = overlap_extents[axis]
             if low < cut_low:
                 extents = list(remaining)
                 extents[axis] = (low, cut_low)
-                pieces.append(Box(tuple(extents)))
+                pieces.append(unchecked(tuple(extents)))
             if cut_high < high:
                 extents = list(remaining)
                 extents[axis] = (cut_high, high)
-                pieces.append(Box(tuple(extents)))
+                pieces.append(unchecked(tuple(extents)))
             remaining[axis] = (cut_low, cut_high)
         return pieces
 
@@ -215,7 +231,7 @@ def _try_merge(a: Box, b: Box) -> Box | None:
         return None
     extents = list(a.extents)
     extents[differing] = joined
-    return Box(tuple(extents))
+    return Box.unchecked(tuple(extents))
 
 
 def remainder_decomposition(

@@ -12,6 +12,14 @@ market table the store tracks
 answers the two questions the optimizer and executor ask: "which part of
 this request region is missing?" (remainder decomposition) and "give me the
 cached rows inside this region" (result assembly).
+
+Because the store never evicts, both questions must stay *sub-linear* in
+store age: covered boxes live in a :class:`~repro.semstore.grid.BoxGridIndex`
+and cached-row grid points in a :class:`~repro.semstore.grid.PointGridIndex`,
+so probes touch only the grid buckets a query overlaps.  The pre-index flat
+scans survive behind ``debug_bruteforce=True`` as the oracle the equivalence
+tests compare against.  Every mutation bumps a per-table ``epoch``, which
+the rewriter keys its memoization on.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.semstore.boxes import (
     remainder_decomposition,
 )
 from repro.semstore.consistency import ConsistencyPolicy
+from repro.semstore.grid import BoxGridIndex, PointGridIndex
 from repro.semstore.space import BoxSpace
 
 
@@ -41,49 +50,124 @@ class CoveredBox:
 
 
 class TableStore:
-    """Per-table slice of the semantic store."""
+    """Per-table slice of the semantic store.
 
-    def __init__(self, space: BoxSpace, schema: Schema):
+    ``debug_bruteforce`` selects the pre-index flat-scan probing for every
+    coverage/remainder/assembly question; storage is identical either way,
+    so the two modes must return byte-identical answers (asserted by the
+    property tests in ``tests/test_store_index.py``).
+    """
+
+    def __init__(
+        self, space: BoxSpace, schema: Schema, debug_bruteforce: bool = False
+    ):
         self.space = space
         self.schema = schema
-        self.covered: list[CoveredBox] = []
+        self.debug_bruteforce = debug_bruteforce
+        #: Monotonically increasing mutation counter.  Anything derived
+        #: from store state (rewrite results, coverage verdicts) is valid
+        #: only for the epoch it was computed at.
+        self.epoch: int = 0
+        grid_extents = tuple(d.full_extent for d in space.dimensions)
+        self._covers: dict[int, CoveredBox] = {}
+        self._next_cover_id: int = 0
+        self._cover_index = BoxGridIndex(grid_extents)
         self._rows: list[Row] = []
         self._row_set: set[Row] = set()
         #: Grid point of each cached row, computed once at insert time.
         self._points: list[tuple[int, ...] | None] = []
+        self._point_index = PointGridIndex(grid_extents)
 
     @property
     def cached_row_count(self) -> int:
         return len(self._rows)
 
+    @property
+    def covered(self) -> list[CoveredBox]:
+        """Covered regions in insertion order (read-only snapshot)."""
+        return list(self._covers.values())
+
+    @property
+    def covered_count(self) -> int:
+        return len(self._covers)
+
+    # -- mutation ------------------------------------------------------------
+
     def record(self, box: Box, rows: Iterable[Row], stored_at: float) -> int:
         """Store a fetched region; returns how many rows were new."""
+        self.epoch += 1
         new = 0
         count = 0
         for row in rows:
             count += 1
             if row not in self._row_set:
                 self._row_set.add(row)
-                self._rows.append(row)
-                self._points.append(self.space.row_point(row, self.schema))
+                self._point_index_insert(row)
                 new += 1
-        # Consolidate the coverage list: a region subsumed by an
+        # Consolidate the coverage set: a region subsumed by an
         # equally-fresh cover adds nothing, and covers subsumed by this
-        # fresher region can be dropped.  Keeps remainder computation
-        # linear in the number of *distinct* covered regions.
-        for existing in self.covered:
+        # fresher region can be dropped.  Containment implies overlap, so
+        # the grid index narrows both checks to overlapping covers only.
+        candidate_ids = self._overlapping_cover_ids(box)
+        for cover_id in candidate_ids:
+            existing = self._covers[cover_id]
             if existing.stored_at >= stored_at and existing.box.contains_box(box):
                 return new
-        self.covered = [
-            existing
-            for existing in self.covered
-            if not (
-                existing.stored_at <= stored_at
-                and box.contains_box(existing.box)
-            )
-        ]
-        self.covered.append(CoveredBox(box=box, stored_at=stored_at, row_count=count))
+        for cover_id in candidate_ids:
+            existing = self._covers[cover_id]
+            if existing.stored_at <= stored_at and box.contains_box(existing.box):
+                del self._covers[cover_id]
+                self._cover_index.remove(cover_id)
+        self._append_cover(
+            CoveredBox(box=box, stored_at=stored_at, row_count=count)
+        )
         return new
+
+    def restore_cover(self, covered: CoveredBox) -> None:
+        """Re-insert a persisted cover verbatim (no re-consolidation)."""
+        self.epoch += 1
+        self._append_cover(covered)
+
+    def restore_row(self, row: Row) -> bool:
+        """Re-insert a persisted row; returns whether it was new."""
+        if row in self._row_set:
+            return False
+        self.epoch += 1
+        self._row_set.add(row)
+        self._point_index_insert(row)
+        return True
+
+    def _append_cover(self, covered: CoveredBox) -> None:
+        cover_id = self._next_cover_id
+        self._next_cover_id += 1
+        self._covers[cover_id] = covered
+        self._cover_index.insert(cover_id, covered.box)
+
+    def _point_index_insert(self, row: Row) -> None:
+        point = self.space.row_point(row, self.schema)
+        row_id = len(self._rows)
+        self._rows.append(row)
+        self._points.append(point)
+        if point is not None:
+            self._point_index.insert(row_id, point)
+
+    # -- coverage probes -------------------------------------------------------
+
+    def _overlapping_cover_ids(self, box: Box) -> list[int]:
+        """Ids of covers possibly overlapping ``box``, insertion-ordered."""
+        if self.debug_bruteforce:
+            return list(self._covers)
+        return self._cover_index.candidates(box)
+
+    def _fresh_overlapping_covers(
+        self, box: Box, policy: ConsistencyPolicy, now: float
+    ) -> list[Box]:
+        covers = self._covers
+        return [
+            covers[cover_id].box
+            for cover_id in self._overlapping_cover_ids(box)
+            if policy.is_fresh(covers[cover_id].stored_at, now)
+        ]
 
     def effective_covers(
         self, policy: ConsistencyPolicy, now: float
@@ -93,7 +177,7 @@ class TableStore:
             return []
         return [
             covered.box
-            for covered in self.covered
+            for covered in self._covers.values()
             if policy.is_fresh(covered.stored_at, now)
         ]
 
@@ -101,33 +185,63 @@ class TableStore:
         self, query: Box, policy: ConsistencyPolicy, now: float
     ) -> list[Box]:
         """Elementary boxes of the part of ``query`` that must be fetched."""
+        if not policy.rewriting_enabled:
+            return [query]
         return remainder_decomposition(
-            query, self.effective_covers(policy, now)
+            query, self._fresh_overlapping_covers(query, policy, now)
         )
 
     def is_covered(
         self, query: Box, policy: ConsistencyPolicy, now: float
     ) -> bool:
-        return covers_fully(query, self.effective_covers(policy, now))
+        if not policy.rewriting_enabled:
+            return False
+        return covers_fully(
+            query, self._fresh_overlapping_covers(query, policy, now)
+        )
+
+    # -- row assembly ----------------------------------------------------------
 
     def rows_in_box(self, box: Box) -> list[Row]:
         """Cached rows whose grid point lies inside ``box``."""
+        if self.debug_bruteforce:
+            return [
+                row
+                for row, point in zip(self._rows, self._points)
+                if point is not None and box.contains_point(point)
+            ]
+        rows = self._rows
+        points = self._points
+        contains = box.contains_point
         return [
-            row
-            for row, point in zip(self._rows, self._points)
-            if point is not None and box.contains_point(point)
+            rows[row_id]
+            for row_id in sorted(self._point_index.candidates(box))
+            if contains(points[row_id])
         ]
 
     def rows_in_boxes(self, boxes: Sequence[Box]) -> list[Row]:
-        """Cached rows inside the union of ``boxes`` (boxes must be disjoint).
-
-        Large box sets (bind-join fan-outs produce one box per binding
-        value) are probed through an *anchor dimension* index: boxes that
-        are single-valued on the anchor go into a hash bucket, so each row
-        checks only the handful of boxes sharing its anchor coordinate.
-        """
+        """Cached rows inside the union of ``boxes`` (boxes must be disjoint)."""
         if not boxes:
             return []
+        if self.debug_bruteforce:
+            return self._rows_in_boxes_bruteforce(boxes)
+        points = self._points
+        selected: set[int] = set()
+        for box in boxes:
+            contains = box.contains_point
+            for row_id in self._point_index.candidates(box):
+                if row_id not in selected and contains(points[row_id]):
+                    selected.add(row_id)
+        rows = self._rows
+        return [rows[row_id] for row_id in sorted(selected)]
+
+    def _rows_in_boxes_bruteforce(self, boxes: Sequence[Box]) -> list[Row]:
+        """The pre-index scan, kept as the equivalence-test oracle.
+
+        Large box sets (bind-join fan-outs produce one box per binding
+        value) are probed through an *anchor dimension* hash so each row
+        checks only the handful of boxes sharing its anchor coordinate.
+        """
         if len(boxes) <= 16:
             return [
                 row
@@ -171,8 +285,14 @@ class TableStore:
 class SemanticStore:
     """The buyer-side store of everything ever retrieved from the market."""
 
-    def __init__(self, policy: ConsistencyPolicy | None = None):
+    def __init__(
+        self,
+        policy: ConsistencyPolicy | None = None,
+        debug_bruteforce: bool = False,
+    ):
         self.policy = policy or ConsistencyPolicy.weak()
+        #: Route every probe through the pre-index flat scans (test oracle).
+        self.debug_bruteforce = debug_bruteforce
         self._tables: dict[str, TableStore] = {}
         #: Logical clock in weeks; the harness advances it to model time
         #: passing between query batches (only matters under X-week policy).
@@ -182,7 +302,9 @@ class SemanticStore:
         key = space.table.lower()
         if key in self._tables:
             raise ReproError(f"table {space.table!r} already registered")
-        store = TableStore(space, schema)
+        store = TableStore(
+            space, schema, debug_bruteforce=self.debug_bruteforce
+        )
         self._tables[key] = store
         return store
 
@@ -194,6 +316,10 @@ class SemanticStore:
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
+
+    def epoch_of(self, table: str) -> int:
+        """The table's current mutation epoch (see :attr:`TableStore.epoch`)."""
+        return self.table(table).epoch
 
     def advance_clock(self, weeks: float) -> None:
         if weeks < 0:

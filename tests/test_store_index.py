@@ -1,0 +1,247 @@
+"""Equivalence guard: indexed store probes vs the brute-force oracle.
+
+The grid indexes of :mod:`repro.semstore.grid` must be pure accelerators.
+For any sequence of mutations and probes, a store running the pre-index
+flat scans (``debug_bruteforce=True``) and the default indexed store must
+return *byte-identical* answers: the same remainder decompositions in the
+same order, the same coverage verdicts, and the same assembled rows in the
+same order.  These tests drive both stores through identical randomized
+workloads (seeded, so failures reproduce) and compare every answer.
+"""
+
+import random
+
+import pytest
+
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import AttributeType as T
+from repro.semstore.boxes import Box
+from repro.semstore.consistency import ConsistencyPolicy
+from repro.semstore.grid import BoxGridIndex, PointGridIndex
+from repro.semstore.space import BoxSpace, Dimension
+from repro.semstore.store import SemanticStore
+
+CATEGORIES = ("amber", "blue", "coral", "dune")
+
+#: Per-axis width caps for randomly generated boxes (K, D, C).
+RECORD_WIDTHS = (12, 5, 2)
+QUERY_WIDTHS = (25, 8, 4)
+
+
+def make_space() -> BoxSpace:
+    return BoxSpace(
+        "R",
+        (
+            Dimension("K", is_categorical=False, low=0, high=41),
+            Dimension("D", is_categorical=False, low=1, high=11),
+            Dimension(
+                "C",
+                is_categorical=True,
+                low=0,
+                high=len(CATEGORIES),
+                values=CATEGORIES,
+            ),
+        ),
+    )
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("K", T.INT),
+            Attribute("D", T.INT),
+            Attribute("C", T.STRING),
+            Attribute("V", T.FLOAT),
+        ]
+    )
+
+
+def paired_stores(policy=None):
+    """Two stores fed identical workloads: indexed vs brute-force oracle."""
+    indexed = SemanticStore(policy)
+    indexed.register_table(make_space(), make_schema())
+    brute = SemanticStore(policy, debug_bruteforce=True)
+    brute.register_table(make_space(), make_schema())
+    return indexed, brute
+
+
+def random_box(rng: random.Random, max_widths) -> Box:
+    extents = []
+    for dimension, cap in zip(make_space().dimensions, max_widths):
+        span = dimension.high - dimension.low
+        width = rng.randint(1, min(cap, span))
+        low = rng.randint(dimension.low, dimension.high - width)
+        extents.append((low, low + width))
+    return Box(tuple(extents))
+
+
+def rows_for_box(box: Box, rng: random.Random):
+    """A sampled row for most grid points of ``box`` (plus an off-domain one)."""
+    (k0, k1), (d0, d1), (c0, c1) = box.extents
+    rows = []
+    for k in range(k0, k1):
+        for d in range(d0, d1):
+            for c in range(c0, c1):
+                if rng.random() < 0.7:
+                    rows.append(
+                        (k, d, CATEGORIES[c], float(k * 1000 + d * 10 + c))
+                    )
+    if rng.random() < 0.2:
+        rows.append((k0, d0, "off-domain-category", -1.0))
+    return rows
+
+
+def assert_probes_agree(indexed: SemanticStore, brute: SemanticStore, query: Box):
+    assert indexed.remainder("R", query) == brute.remainder("R", query)
+    assert indexed.is_covered("R", query) == brute.is_covered("R", query)
+    assert indexed.effective_covers("R") == brute.effective_covers("R")
+    assert indexed.rows_in_boxes("R", [query]) == brute.rows_in_boxes(
+        "R", [query]
+    )
+    assert indexed.table("R").rows_in_box(query) == brute.table(
+        "R"
+    ).rows_in_box(query)
+
+
+POLICY_FACTORIES = {
+    "weak": ConsistencyPolicy.weak,
+    "two_weeks": lambda: ConsistencyPolicy.weeks(2),
+}
+
+
+class TestRandomWorkloadEquivalence:
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_indexed_matches_bruteforce(self, seed, policy_name):
+        rng = random.Random(seed)
+        indexed, brute = paired_stores(POLICY_FACTORIES[policy_name]())
+        for __ in range(60):
+            action = rng.random()
+            if action < 0.55:
+                box = (
+                    make_space().full_box
+                    if rng.random() < 0.1
+                    else random_box(rng, RECORD_WIDTHS)
+                )
+                rows = rows_for_box(box, rng)
+                new_indexed = indexed.record("R", box, rows)
+                new_brute = brute.record("R", box, rows)
+                assert new_indexed == new_brute
+            elif action < 0.65:
+                weeks = rng.choice((0.5, 1.0, 3.0))
+                indexed.advance_clock(weeks)
+                brute.advance_clock(weeks)
+            query = random_box(rng, QUERY_WIDTHS)
+            assert_probes_agree(indexed, brute, query)
+            assert indexed.epoch_of("R") == brute.epoch_of("R")
+            table_i, table_b = indexed.table("R"), brute.table("R")
+            assert table_i.covered == table_b.covered
+            assert table_i.cached_row_count == table_b.cached_row_count
+
+    def test_full_domain_record_covers_everything(self):
+        rng = random.Random(1234)
+        indexed, brute = paired_stores()
+        full = make_space().full_box
+        rows = rows_for_box(full, rng)
+        indexed.record("R", full, rows)
+        brute.record("R", full, rows)
+        for __ in range(10):
+            query = random_box(rng, QUERY_WIDTHS)
+            assert indexed.remainder("R", query) == []
+            assert indexed.is_covered("R", query)
+            assert_probes_agree(indexed, brute, query)
+
+
+class TestBindJoinFanout:
+    """The >16-box assembly path (one box per binding value) must agree."""
+
+    def test_many_point_boxes(self):
+        rng = random.Random(99)
+        indexed, brute = paired_stores()
+        full = make_space().full_box
+        rows = rows_for_box(full, rng)
+        indexed.record("R", full, rows)
+        brute.record("R", full, rows)
+        ks = rng.sample(range(0, 41), 24)
+        boxes = [Box(((k, k + 1), (1, 11), (0, 4))) for k in ks]
+        assert indexed.rows_in_boxes("R", boxes) == brute.rows_in_boxes(
+            "R", boxes
+        )
+
+    def test_mixed_point_and_range_boxes(self):
+        rng = random.Random(7)
+        indexed, brute = paired_stores()
+        for __ in range(8):
+            box = random_box(rng, RECORD_WIDTHS)
+            rows = rows_for_box(box, rng)
+            indexed.record("R", box, rows)
+            brute.record("R", box, rows)
+        boxes = [Box(((k, k + 1), (1, 11), (0, 4))) for k in range(0, 40, 2)]
+        boxes.append(Box(((0, 41), (1, 3), (1, 2))))
+        assert indexed.rows_in_boxes("R", boxes) == brute.rows_in_boxes(
+            "R", boxes
+        )
+
+
+def overlaps(a: Box, b: Box) -> bool:
+    return all(
+        max(low_a, low_b) < min(high_a, high_b)
+        for (low_a, high_a), (low_b, high_b) in zip(a.extents, b.extents)
+    )
+
+
+class TestBoxGridIndex:
+    EXTENTS = ((0, 100), (0, 100))
+
+    def test_candidates_are_overlap_superset_in_insertion_order(self):
+        rng = random.Random(42)
+        index = BoxGridIndex(self.EXTENTS)
+        boxes = {}
+        for box_id in range(50):
+            low_x, low_y = rng.randint(0, 90), rng.randint(0, 90)
+            box = Box(
+                (
+                    (low_x, low_x + rng.randint(1, 10)),
+                    (low_y, low_y + rng.randint(1, 10)),
+                )
+            )
+            boxes[box_id] = box
+            index.insert(box_id, box)
+        for __ in range(40):
+            low_x, low_y = rng.randint(0, 80), rng.randint(0, 80)
+            query = Box(((low_x, low_x + 20), (low_y, low_y + 20)))
+            candidates = index.candidates(query)
+            assert candidates == sorted(candidates)
+            truly = {i for i, box in boxes.items() if overlaps(box, query)}
+            assert truly.issubset(candidates)
+
+    def test_remove(self):
+        index = BoxGridIndex(self.EXTENTS)
+        box = Box(((10, 20), (10, 20)))
+        index.insert(0, box)
+        assert 0 in index.candidates(box)
+        index.remove(0)
+        assert index.candidates(box) == []
+
+    def test_oversized_box_always_probed(self):
+        index = BoxGridIndex(self.EXTENTS)
+        index.insert(0, Box(((0, 100), (0, 100))))
+        assert 0 in index.candidates(Box(((3, 4), (97, 98))))
+
+
+class TestPointGridIndex:
+    def test_candidates_are_containment_superset(self):
+        rng = random.Random(17)
+        index = PointGridIndex(((0, 100), (0, 100)))
+        points = {}
+        for row_id in range(200):
+            point = (rng.randint(0, 99), rng.randint(0, 99))
+            points[row_id] = point
+            index.insert(row_id, point)
+        for __ in range(30):
+            low_x, low_y = rng.randint(0, 80), rng.randint(0, 80)
+            query = Box(((low_x, low_x + 20), (low_y, low_y + 20)))
+            truly = {
+                i for i, p in points.items() if query.contains_point(p)
+            }
+            assert truly.issubset(set(index.candidates(query)))

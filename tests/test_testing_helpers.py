@@ -44,9 +44,10 @@ class TestOracle:
     def test_assert_matches_oracle_catches_divergence(self):
         payless = registered_payless(tiny_weather_market())
         result = payless.query("SELECT * FROM Station")
-        # Sabotage the cached rows to force a divergence on the repeat.
+        # Sabotage a cached row in place to force a divergence on the
+        # repeat (keeps the row/point lists aligned with the point index).
         store = payless.store.table("Station")
-        store._rows.pop()  # noqa: SLF001
-        store._points.pop()  # noqa: SLF001
+        sabotaged = ("bogus",) + store._rows[-1][1:]  # noqa: SLF001
+        store._rows[-1] = sabotaged  # noqa: SLF001
         with pytest.raises(AssertionError):
             assert_matches_oracle(payless, "SELECT * FROM Station")
