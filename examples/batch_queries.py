@@ -37,7 +37,7 @@ def main() -> None:
     interactive, __ = build_system("payless", data)
     naive_total = 0
     for sql, params in batch:
-        cost = interactive.query(sql, params).transactions
+        cost = interactive.query(sql, params).stats.transactions
         naive_total += cost
         print(f"  {params!s:>24} -> {cost:3d} transactions")
     print(f"  total: {naive_total}\n")
@@ -47,7 +47,7 @@ def main() -> None:
     outcome = batched.query_batch(batch)
     print(f"  execution order: {outcome.execution_order}")
     for (sql, params), result in zip(batch, outcome.results):
-        print(f"  {params!s:>24} -> {result.transactions:3d} transactions")
+        print(f"  {params!s:>24} -> {result.stats.transactions:3d} transactions")
     print(f"  total: {outcome.total_transactions}")
 
     saved = naive_total - outcome.total_transactions

@@ -32,7 +32,7 @@ def run(policy_label: str, policy: ConsistencyPolicy | None, data, weeks: int):
     costs = []
     for __ in range(weeks):
         result = payless.query(sql, params)
-        costs.append(result.transactions)
+        costs.append(result.stats.transactions)
         payless.store.advance_clock(1)  # one week passes
     return costs
 

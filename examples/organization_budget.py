@@ -43,7 +43,7 @@ def main() -> None:
         "WHERE Country = ? AND Date >= ? AND Date <= ?",
         (country, 10, 40),
     )
-    print(f"Bob's overlapping query cost: {result.transactions} transactions")
+    print(f"Bob's overlapping query cost: {result.stats.transactions} transactions")
     print(acme.spend_report())
 
     print("\n=== Deferred batch ===")
@@ -56,8 +56,8 @@ def main() -> None:
     )
     results = acme.flush()
     print(
-        f"broad query paid {results[t_broad].transactions}, narrow rode "
-        f"free ({results[t_narrow].transactions})"
+        f"broad query paid {results[t_broad].stats.transactions}, narrow rode "
+        f"free ({results[t_narrow].stats.transactions})"
     )
 
     print("\n=== Budget enforcement ===")
@@ -71,7 +71,7 @@ def main() -> None:
         "SELECT * FROM Weather WHERE Country = ? AND Date <= 10", (country,)
     )
     print(
-        f"small query allowed: {small.transactions} transactions, "
+        f"small query allowed: {small.stats.transactions} transactions, "
         f"{budgeted.report.remaining} remaining"
     )
 

@@ -89,13 +89,13 @@ def main() -> None:
     print("\n=== Executing ===")
     result = payless.query(sql)
     print(f"rows returned:       {len(result.rows)}")
-    print(f"REST calls made:     {result.calls}")
-    print(f"transactions billed: {result.transactions}")
-    print(f"money paid:          ${result.price:g}")
+    print(f"REST calls made:     {result.stats.calls}")
+    print(f"transactions billed: {result.stats.transactions}")
+    print(f"money paid:          ${result.stats.price:g}")
 
     print("\n=== Asking again (served from the semantic store) ===")
     repeat = payless.query(sql)
-    print(f"transactions billed: {repeat.transactions}")
+    print(f"transactions billed: {repeat.stats.transactions}")
 
     print("\n=== Session bill ===")
     print(payless.bill())

@@ -38,8 +38,8 @@ def main() -> None:
     print(planning.plan.describe())
     result = payless.query(t03.sql, t03.params)
     print(
-        f"-> {len(result.rows)} result rows, {result.transactions} "
-        f"transactions, {result.calls} calls\n"
+        f"-> {len(result.rows)} result rows, {result.stats.transactions} "
+        f"transactions, {result.stats.calls} calls\n"
     )
 
     for label, system in (

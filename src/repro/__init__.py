@@ -7,17 +7,32 @@ pieces most users need:
 * :class:`~repro.market.server.DataMarket` — the simulated priced market;
 * :class:`~repro.core.payless.PayLess` — the buyer-side system;
 * :class:`~repro.core.baselines.DownloadAllStrategy` — the obvious
-  alternative PayLess is measured against.
+  alternative PayLess is measured against;
+* :class:`~repro.market.transport.TransportConfig` and
+  :class:`~repro.market.faults.FaultPolicy` — the money-safe transport
+  (retries, at-most-once billing, fault injection) and the exception
+  hierarchy it raises (:class:`~repro.errors.TransportError` and friends).
 """
 
 from repro.core.optimizer import OptimizerOptions
-from repro.core.payless import PayLess, QueryResult
+from repro.core.payless import PayLess, QueryResult, QueryStats
 from repro.core.baselines import DownloadAllStrategy
-from repro.errors import ReproError
+from repro.errors import (
+    ExecutionError,
+    MarketError,
+    MarketUnavailableError,
+    PlanningError,
+    ReproError,
+    RetryExhaustedError,
+    SqlAnalysisError,
+    TransportError,
+)
 from repro.market.binding import AccessMode, BindingPattern
 from repro.market.dataset import Dataset
+from repro.market.faults import FaultPolicy
 from repro.market.pricing import PricingPolicy
 from repro.market.server import DataMarket
+from repro.market.transport import TransportConfig
 from repro.relational.database import Database
 from repro.relational.schema import Attribute, Domain, Schema
 from repro.relational.table import Table
@@ -38,12 +53,22 @@ __all__ = [
     "Dataset",
     "Domain",
     "DownloadAllStrategy",
+    "ExecutionError",
+    "FaultPolicy",
+    "MarketError",
+    "MarketUnavailableError",
     "OptimizerOptions",
     "PayLess",
+    "PlanningError",
     "PricingPolicy",
     "QueryResult",
+    "QueryStats",
     "ReproError",
+    "RetryExhaustedError",
     "Schema",
+    "SqlAnalysisError",
     "Table",
+    "TransportConfig",
+    "TransportError",
     "__version__",
 ]

@@ -26,6 +26,8 @@ from repro.bench.figures import (
 )
 from repro.bench.harness import SYSTEMS, download_all_bound, run_session
 from repro.bench.reporting import series_table, summary_table
+from repro.market.faults import FaultPolicy
+from repro.market.transport import TransportConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +51,24 @@ def _build_parser() -> argparse.ArgumentParser:
     session.add_argument(
         "--instances", type=int, default=5,
         help="query instances per template (the paper's q)",
+    )
+    session.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="inject transient market faults with this total probability "
+        "per call (0 disables injection)",
+    )
+    session.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed for deterministic fault injection (same seed, same faults)",
+    )
+    session.add_argument(
+        "--max-retries", type=int, default=4, metavar="N",
+        help="retries per market call before the query fails",
+    )
+    session.add_argument(
+        "--partial-results", action="store_true",
+        help="on retry exhaustion, keep the rows that arrived instead of "
+        "failing the query",
     )
 
     explain = commands.add_parser(
@@ -79,6 +99,20 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _session_transport(args: argparse.Namespace) -> TransportConfig | None:
+    """Build the transport configuration from the session flags."""
+    faults = None
+    if args.fault_rate > 0.0:
+        faults = FaultPolicy.uniform(seed=args.fault_seed, rate=args.fault_rate)
+    if faults is None and args.max_retries == 4 and not args.partial_results:
+        return None  # defaults: let the harness use the plain transport
+    return TransportConfig(
+        faults=faults,
+        max_retries=args.max_retries,
+        partial_results=args.partial_results,
+    )
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     data = make_workload(args.workload)
     instances = make_instances(args.workload, data, args.instances)
@@ -87,7 +121,9 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"{data.total_market_rows()} market rows "
         f"(download-all bound: {download_all_bound(data)} transactions)"
     )
-    session = run_session(args.system, data, instances)
+    session = run_session(
+        args.system, data, instances, transport=_session_transport(args)
+    )
     print()
     print(
         series_table(
@@ -99,6 +135,14 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"\ntotal: {session.total_transactions} transactions, "
         f"{session.total_calls} calls, ${session.total_price:g}"
     )
+    if session.total_faults or session.total_retries:
+        print(
+            f"faults: {session.total_faults} injected, "
+            f"{session.total_retries} retries, "
+            f"{session.total_replays} billing replays, "
+            f"{session.wasted_transactions} transactions wasted "
+            f"(${session.wasted_price:g})"
+        )
     return 0
 
 

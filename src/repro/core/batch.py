@@ -105,8 +105,8 @@ def execute_batch(
     for index in order:
         outcome = payless.execute_logical(compiled[index])
         results[index] = outcome
-        transactions += outcome.transactions
-        price += outcome.price
+        transactions += outcome.stats.transactions
+        price += outcome.stats.price
     return BatchResult(
         results=list(results),
         execution_order=order,

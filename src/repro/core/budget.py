@@ -88,6 +88,6 @@ class BudgetedPayLess:
         if estimate > self.report.remaining:
             self.report.advisory_breaches += 1
         result = self.payless.execute_logical(logical)
-        self.report.spent_transactions += result.transactions
+        self.report.spent_transactions += result.stats.transactions
         self.report.executed_queries += 1
         return result

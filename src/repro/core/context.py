@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.rewriter import SemanticRewriter
 from repro.errors import PlanningError
 from repro.market.server import DataMarket
+from repro.market.transport import MarketTransport, TransportConfig
 from repro.relational.database import Database
 from repro.relational.schema import Schema
 from repro.relational.table import Table
@@ -60,12 +61,21 @@ class PlanningContext:
         rewriter: SemanticRewriter,
         local_db: Database,
         max_concurrent_calls: int | None = None,
+        transport: TransportConfig | MarketTransport | None = None,
     ):
         self.market = market
         self.catalog = catalog
         self.store = store
         self.rewriter = rewriter
         self.local_db = local_db
+        #: The money-safe transport every executor call goes through (see
+        #: :mod:`repro.market.transport`).  Lives here, not on the
+        #: executor: circuit breakers must remember failures across
+        #: queries.  Accepts a ready transport or just its config.
+        if isinstance(transport, MarketTransport):
+            self.transport = transport
+        else:
+            self.transport = MarketTransport(market, transport)
         if max_concurrent_calls is not None and max_concurrent_calls < 1:
             raise PlanningError("max_concurrent_calls must be >= 1")
         #: Upper bound on concurrently in-flight market calls per table

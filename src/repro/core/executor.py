@@ -17,6 +17,16 @@ every downstream state — coverage, histograms, billing totals — identical
 to serial execution; only wall-clock changes, reported both ways as
 ``market_time_ms`` (serial sum) and ``market_time_critical_path_ms``
 (simulated makespan under the concurrency limit).
+
+All calls go through the money-safe transport
+(:mod:`repro.market.transport`): transient faults are retried with
+backoff under at-most-once billing.  When a call still fails, the
+executor degrades gracefully — the semantic store records **only** the
+boxes whose fetches completed (a failed fetch can never poison the
+coverage index into skipping a future purchase), and the query either
+raises :class:`~repro.errors.MarketUnavailableError` or, under the
+transport's ``partial_results`` mode, returns the rows that did arrive
+with the failed regions reported on the result.
 """
 
 from __future__ import annotations
@@ -33,7 +43,11 @@ from repro.core.plans import (
     MarketAccessNode,
     PlanNode,
 )
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    MarketUnavailableError,
+    TransportError,
+)
 from repro.market.rest import RestRequest
 from repro.relational.database import Database
 from repro.relational.engine import evaluate
@@ -41,6 +55,18 @@ from repro.relational.expressions import ColumnRef, RowLayout, conjunction
 from repro.relational.operators import Relation, filter_rows, hash_join, scan
 from repro.relational.query import AttributeConstraint, LogicalQuery
 from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class FailedFetch:
+    """One remainder region the transport could not buy."""
+
+    table: str
+    request: RestRequest
+    error: TransportError
+
+    def __repr__(self) -> str:
+        return f"FailedFetch({self.request.url()}: {self.error})"
 
 
 @dataclass
@@ -52,12 +78,26 @@ class ExecutionResult:
     price: float
     calls: int
     fetched_records: int
-    #: Simulated wall-clock spent on REST calls (serial sum).
+    #: Simulated wall-clock spent on REST calls (serial sum, including
+    #: retries and backoff waits of the money-safe transport).
     market_time_ms: float = 0.0
     #: Simulated wall-clock with ``max_concurrent_calls`` in-flight calls:
     #: the critical path of the fetch schedule.  Equals ``market_time_ms``
     #: when executing serially.
     market_time_critical_path_ms: float = 0.0
+    #: Transport accounting (see :mod:`repro.market.transport`).
+    retries: int = 0
+    faults_injected: int = 0
+    replays: int = 0
+    wasted_transactions: int = 0
+    wasted_price: float = 0.0
+    #: Regions that could not be bought (non-empty only under the
+    #: transport's ``partial_results`` mode; otherwise the executor raises).
+    failed_fetches: tuple[FailedFetch, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_fetches
 
 
 def _makespan(durations_ms: Sequence[float], workers: int) -> float:
@@ -174,24 +214,33 @@ class Executor:
         price_before = ledger.total_price
         calls_before = ledger.total_calls
         records_before = ledger.total_records
-        elapsed_before = ledger.total_elapsed_ms
 
         self._query = query
         self._staged: dict[str, list] = {}
         self._critical_path_ms = 0.0
+        self._serial_ms = 0.0
+        self._scope = self.context.transport.new_scope()
+        self._failed_fetches: list[FailedFetch] = []
         self._fetch(plan)
 
         staging = self._build_staging(query)
         relation = evaluate(staging, query)
 
+        scope = self._scope
         return ExecutionResult(
             relation=relation,
             transactions=ledger.total_transactions - transactions_before,
             price=ledger.total_price - price_before,
             calls=ledger.total_calls - calls_before,
             fetched_records=ledger.total_records - records_before,
-            market_time_ms=ledger.total_elapsed_ms - elapsed_before,
+            market_time_ms=self._serial_ms,
             market_time_critical_path_ms=self._critical_path_ms,
+            retries=scope.retries,
+            faults_injected=scope.faults_injected,
+            replays=scope.replays,
+            wasted_transactions=scope.wasted_transactions,
+            wasted_price=scope.wasted_price,
+            failed_fetches=tuple(self._failed_fetches),
         )
 
     # ------------------------------------------------------------------ fetching
@@ -294,12 +343,29 @@ class Executor:
             )
         dataset = self.context.dataset_of(table)
         statistics = self.context.catalog.statistics(table)
-        responses = self._issue_market_calls(dataset, table, rewrite.remainder)
+        outcomes = self._issue_market_calls(dataset, table, rewrite.remainder)
         # Record serially in remainder order: store coverage, histogram
         # feedback, and billing totals end up identical to serial fetch.
-        for remainder, response in zip(rewrite.remainder, responses):
+        # Only *completed* fetches are recorded — a failed box must never
+        # enter the coverage index, or a future query would silently skip
+        # buying data it does not have (the store-poisoning hazard).
+        failed: list[FailedFetch] = []
+        for remainder, outcome in zip(rewrite.remainder, outcomes):
+            if isinstance(outcome, FailedFetch):
+                failed.append(outcome)
+                continue
+            response = outcome.response
             self.context.store.record(table, remainder.box, response.rows)
             statistics.histogram.observe(remainder.box, response.record_count)
+        if failed:
+            if not self.context.transport.config.partial_results:
+                raise MarketUnavailableError(
+                    f"{len(failed)} of {len(outcomes)} market calls for "
+                    f"{table!r} failed: "
+                    + "; ".join(str(f.error) for f in failed[:3]),
+                    failed=tuple(failed),
+                )
+            self._failed_fetches.extend(failed)
 
         rows = self.context.store.rows_in_boxes(table, rewrite.request_boxes)
         relation = Relation(
@@ -319,29 +385,47 @@ class Executor:
         return relation
 
     def _issue_market_calls(self, dataset, table, remainders) -> list:
-        """Issue the remainder GETs, concurrently when allowed.
+        """Issue the remainder GETs through the transport, concurrently when
+        allowed.
 
         Remainder boxes are disjoint and the market is read-only, so the
-        calls commute; responses come back in request order either way.
+        calls commute; outcomes come back in request order either way.
+        Each element of the returned list is either a
+        :class:`~repro.market.transport.FetchResult` or a
+        :class:`FailedFetch` — per-call failures are captured rather than
+        raised so sibling successes can still be recorded (the money was
+        spent; keeping the data saves a future re-purchase).
         """
+        transport = self.context.transport
+        scope = self._scope
         requests = [
             RestRequest(dataset, table, remainder.constraints)
             for remainder in remainders
         ]
+
+        def issue(request: RestRequest):
+            try:
+                return transport.fetch(request, scope)
+            except TransportError as error:
+                return FailedFetch(table=table, request=request, error=error)
+
         limit = self.max_concurrent_calls
         if limit > 1 and len(requests) > 1:
             with ThreadPoolExecutor(
                 max_workers=min(limit, len(requests))
             ) as pool:
-                responses = list(pool.map(self.context.market.get, requests))
+                outcomes = list(pool.map(issue, requests))
         else:
-            responses = [
-                self.context.market.get(request) for request in requests
-            ]
-        self._critical_path_ms += _makespan(
-            [response.elapsed_ms for response in responses], limit
-        )
-        return responses
+            outcomes = [issue(request) for request in requests]
+        durations = [
+            outcome.error.elapsed_ms
+            if isinstance(outcome, FailedFetch)
+            else outcome.elapsed_ms
+            for outcome in outcomes
+        ]
+        self._serial_ms += sum(durations)
+        self._critical_path_ms += _makespan(durations, limit)
+        return outcomes
 
     def _empty_relation(self, table: str) -> Relation:
         self._staged.setdefault(table.lower(), [])

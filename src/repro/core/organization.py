@@ -45,7 +45,7 @@ class UserSession:
     def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
         """Run immediately, attributing the spend to this user."""
         result = self.organization.payless.query(sql, params)
-        self.transactions += result.transactions
+        self.transactions += result.stats.transactions
         self.queries += 1
         return result
 
@@ -110,7 +110,7 @@ class Organization:
         results: dict[int, QueryResult] = {}
         for entry, result in zip(deferred, outcome.results):
             session = self.user(entry.user)
-            session.transactions += result.transactions
+            session.transactions += result.stats.transactions
             session.queries += 1
             results[entry.ticket] = result
         return results

@@ -13,7 +13,7 @@ Typical use::
     result = payless.query(
         "SELECT Temperature FROM Station, Weather WHERE ...", params
     )
-    print(result.rows, result.transactions)
+    print(result.rows, result.stats.transactions)
 
 The ``variant`` class methods build the evaluation's configurations:
 full PayLess, PayLess without semantic query rewriting, and the
@@ -22,17 +22,19 @@ Minimizing-Calls competitor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.baselines import DownloadAllStrategy
 from repro.core.context import PlanningContext
-from repro.core.executor import ExecutionResult, Executor
+from repro.core.executor import ExecutionResult, Executor, FailedFetch
 from repro.core.optimizer import Optimizer, OptimizerOptions, PlanningResult
 from repro.core.plans import PlanNode
 from repro.core.rewriter import SemanticRewriter
 from repro.errors import PlanningError
 from repro.market.server import DataMarket
+from repro.market.transport import TransportConfig
 from repro.relational.database import Database
 from repro.relational.operators import Relation
 from repro.relational.query import LogicalQuery
@@ -63,24 +65,93 @@ class QueryLogEntry:
         )
 
 
-@dataclass
-class QueryResult:
-    """What a user query returns: rows plus the money it cost."""
+@dataclass(frozen=True)
+class QueryStats:
+    """Everything one query cost and went through, in one structure.
 
-    relation: Relation
-    transactions: int
-    price: float
-    calls: int
-    fetched_records: int
-    plan: PlanNode
-    evaluated_plans: int
-    enumerated_boxes: int
-    kept_boxes: int
-    #: Simulated wall-clock the market calls would have taken (serial sum).
+    Replaces the ad-hoc stat attributes that used to accrete directly on
+    :class:`QueryResult`; read it as ``result.stats``.
+    """
+
+    #: Market transactions billed (and *spent* — wasted charges are
+    #: reported separately below).
+    transactions: int = 0
+    price: float = 0.0
+    #: Billed REST calls.
+    calls: int = 0
+    records: int = 0
+    #: Candidate (sub)plans the optimizer evaluated (Figure 14).
+    evaluated_plans: int = 0
+    #: Bounding boxes Algorithm 1 generated / kept after pruning (Fig 15).
+    enumerated_boxes: int = 0
+    kept_boxes: int = 0
+    #: Simulated wall-clock of the market calls (serial sum, including
+    #: transport retries and backoff waits).
     market_time_ms: float = 0.0
     #: Simulated wall-clock under the installation's concurrency limit
     #: (critical path of the parallel fetch schedule).
     market_time_critical_path_ms: float = 0.0
+    #: Money-safe transport accounting (see repro.market.transport).
+    retries: int = 0
+    faults_injected: int = 0
+    #: Responses served from the market's idempotency cache for free.
+    replays: int = 0
+    #: Charges billed for calls whose data never arrived (also tracked
+    #: market-wide in ``ledger.wasted_on_failures``).
+    wasted_transactions: int = 0
+    wasted_price: float = 0.0
+    #: Regions that could not be bought (non-empty only under
+    #: ``partial_results``; otherwise the query raises instead).
+    failed_fetches: tuple[FailedFetch, ...] = ()
+
+    @property
+    def fetched_records(self) -> int:
+        return self.records
+
+    @property
+    def failed_calls(self) -> int:
+        return len(self.failed_fetches)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every region the plan needed was actually bought."""
+        return not self.failed_fetches
+
+
+#: QueryResult attributes that now live on ``result.stats``.
+_FORWARDED_STATS = (
+    "transactions",
+    "price",
+    "calls",
+    "fetched_records",
+    "evaluated_plans",
+    "enumerated_boxes",
+    "kept_boxes",
+    "market_time_ms",
+    "market_time_critical_path_ms",
+    "retries",
+    "faults_injected",
+    "replays",
+    "wasted_transactions",
+    "wasted_price",
+    "failed_fetches",
+    "complete",
+)
+
+
+@dataclass
+class QueryResult:
+    """What a user query returns: rows, the chosen plan, and its stats.
+
+    The per-query statistics live in ``result.stats`` (a
+    :class:`QueryStats`); the historical flat attributes
+    (``result.transactions`` etc.) survive as deprecated forwarding
+    properties.
+    """
+
+    relation: Relation
+    plan: PlanNode
+    stats: QueryStats = field(default_factory=QueryStats)
 
     @property
     def rows(self) -> list[tuple]:
@@ -89,6 +160,25 @@ class QueryResult:
     @property
     def columns(self) -> list[str]:
         return [column for __, column in self.relation.layout.columns]
+
+
+def _forwarding_property(name: str) -> property:
+    def getter(self: QueryResult):
+        warnings.warn(
+            f"QueryResult.{name} is deprecated; read result.stats.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self.stats, name)
+
+    getter.__name__ = name
+    getter.__doc__ = f"Deprecated: use ``result.stats.{name}``."
+    return property(getter)
+
+
+for _name in _FORWARDED_STATS:
+    setattr(QueryResult, _name, _forwarding_property(_name))
+del _name
 
 
 class PayLess:
@@ -103,9 +193,13 @@ class PayLess:
         prune_bounding_boxes: bool = True,
         statistic: str = "isomer",
         max_concurrent_calls: int | None = None,
+        transport: TransportConfig | None = None,
     ):
         self.market = market
         self.options = options or OptimizerOptions()
+        #: The money-safe transport configuration (retries, backoff,
+        #: circuit breakers, fault injection, partial results).
+        self.transport_config = transport or TransportConfig()
         #: Which updatable statistic drives estimation ("isomer",
         #: "independence", or "uniform"; see repro.stats.interface).
         self.statistic = statistic
@@ -125,6 +219,7 @@ class PayLess:
             rewriter=self.rewriter,
             local_db=self.local_db,
             max_concurrent_calls=max_concurrent_calls,
+            transport=self.transport_config,
         )
         for table in self.local_db:
             self.context.register_local(table)
@@ -229,16 +324,26 @@ class PayLess:
         )
         return QueryResult(
             relation=execution.relation,
-            transactions=execution.transactions,
-            price=execution.price,
-            calls=execution.calls,
-            fetched_records=execution.fetched_records,
             plan=planning.plan,
-            evaluated_plans=planning.evaluated_plans,
-            enumerated_boxes=planning.enumerated_boxes,
-            kept_boxes=planning.kept_boxes,
-            market_time_ms=execution.market_time_ms,
-            market_time_critical_path_ms=execution.market_time_critical_path_ms,
+            stats=QueryStats(
+                transactions=execution.transactions,
+                price=execution.price,
+                calls=execution.calls,
+                records=execution.fetched_records,
+                evaluated_plans=planning.evaluated_plans,
+                enumerated_boxes=planning.enumerated_boxes,
+                kept_boxes=planning.kept_boxes,
+                market_time_ms=execution.market_time_ms,
+                market_time_critical_path_ms=(
+                    execution.market_time_critical_path_ms
+                ),
+                retries=execution.retries,
+                faults_injected=execution.faults_injected,
+                replays=execution.replays,
+                wasted_transactions=execution.wasted_transactions,
+                wasted_price=execution.wasted_price,
+                failed_fetches=execution.failed_fetches,
+            ),
         )
 
     def query_batch(

@@ -44,7 +44,7 @@ class PreparedQuery:
         logical = analyze(self._statement, self.payless.context, params)
         result = self.payless.execute_logical(logical)
         self.executions += 1
-        self.total_transactions += result.transactions
+        self.total_transactions += result.stats.transactions
         return result
 
     def explain(self, params: Sequence[Any] = ()):

@@ -47,6 +47,54 @@ class MarketError(ReproError):
     """A data-market request is invalid (unknown dataset/table, bad constraint)."""
 
 
+class TransportError(MarketError):
+    """A market call failed in transit (timeout, 5xx, throttle, lost response).
+
+    Transport errors are *transient*: the request itself was well-formed and
+    the money-safe transport (:mod:`repro.market.transport`) may retry it.
+    Contrast with plain :class:`MarketError`, which marks a request the
+    market would reject every time and must never be retried.
+    """
+
+    #: Simulated wall-clock burned on the call before it failed terminally
+    #: (set by the transport when it gives up on a call).
+    elapsed_ms: float = 0.0
+
+
+class RetryExhaustedError(TransportError):
+    """A market call kept failing after every allowed retry.
+
+    ``attempts`` is how many times the call was tried; ``last_fault`` is the
+    final transient failure.  Any charge billed for an attempt whose
+    response never arrived has been moved to the ledger's
+    ``wasted_on_failures`` bucket by the time this is raised.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_fault: Exception | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_fault = last_fault
+
+
+class MarketUnavailableError(TransportError):
+    """The market cannot be (or should not be) reached right now.
+
+    Raised when a dataset's circuit breaker is open, when the per-query
+    retry budget is exhausted, or by the executor when a plan could not buy
+    every region it needed and ``partial_results`` is off.  ``failed``
+    carries the per-call failures when the executor aggregates several.
+    """
+
+    def __init__(self, message: str, failed: tuple = ()):
+        super().__init__(message)
+        self.failed = failed
+
+
 class PlanningError(ReproError):
     """The optimizer could not produce a feasible plan for a query."""
 

@@ -1,8 +1,9 @@
 """Simulated cloud data market: datasets, binding patterns, REST, billing."""
 
-from repro.market.billing import BillingLedger, LedgerEntry
+from repro.market.billing import BillingLedger, ChargeTotals, LedgerEntry
 from repro.market.binding import AccessMode, BindingPattern
 from repro.market.dataset import BasicStatistics, Dataset, MarketTable
+from repro.market.faults import FaultKind, FaultPolicy, InjectedFault
 from repro.market.latency import DEFAULT_LATENCY, INSTANT, LatencyModel
 from repro.market.pricing import (
     DEFAULT_PRICE_PER_TRANSACTION,
@@ -12,25 +13,43 @@ from repro.market.pricing import (
 from repro.market.rest import RestRequest, RestResponse, interval, point
 from repro.market.server import DataMarket
 from repro.market.subscription import Subscription
+from repro.market.transport import (
+    BreakerState,
+    CircuitBreaker,
+    FetchResult,
+    MarketTransport,
+    QueryScope,
+    TransportConfig,
+)
 
 __all__ = [
     "AccessMode",
     "BasicStatistics",
     "BillingLedger",
     "BindingPattern",
+    "BreakerState",
+    "ChargeTotals",
+    "CircuitBreaker",
     "DataMarket",
     "Dataset",
     "DEFAULT_LATENCY",
     "DEFAULT_PRICE_PER_TRANSACTION",
     "DEFAULT_TUPLES_PER_TRANSACTION",
+    "FaultKind",
+    "FaultPolicy",
+    "FetchResult",
     "INSTANT",
+    "InjectedFault",
     "LatencyModel",
     "LedgerEntry",
     "MarketTable",
+    "MarketTransport",
     "PricingPolicy",
+    "QueryScope",
     "RestRequest",
     "Subscription",
     "RestResponse",
+    "TransportConfig",
     "interval",
     "point",
 ]

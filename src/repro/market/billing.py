@@ -4,14 +4,26 @@ The ledger is the ground truth the evaluation reads: Figures 10-13 of the
 paper all plot *cumulative transactions billed*, which is exactly
 ``ledger.total_transactions`` over time.  Checkpoints let the benchmark
 harness snapshot the cumulative series after each user query.
+
+Money-safety (see :mod:`repro.market.transport`) splits the bill in two:
+
+* **spent** — charges for calls whose data was eventually delivered; this
+  is what ``total_transactions`` / ``total_price`` report, so the figures
+  stay comparable whether or not faults were injected;
+* **wasted_on_failures** — charges for calls the market billed but whose
+  response never reached the buyer (retry exhaustion after a dropped
+  response, a naive retry double-billing without an idempotency key).
+  The transport moves an entry here via :meth:`BillingLedger.mark_wasted`
+  when it gives up on the entry's idempotency key.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
+from repro.errors import MarketError
 from repro.market.rest import RestRequest
 
 
@@ -25,18 +37,33 @@ class LedgerEntry:
     price: float
     #: Simulated wall-clock of the call (see repro.market.latency).
     elapsed_ms: float = 0.0
+    #: The transport's at-most-once billing key, when one was attached.
+    idempotency_key: str | None = None
+
+
+@dataclass(frozen=True)
+class ChargeTotals:
+    """An aggregate over a subset of ledger entries."""
+
+    calls: int = 0
+    transactions: int = 0
+    price: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.calls > 0
 
 
 class BillingLedger:
     """Append-only record of billed calls with per-dataset aggregation.
 
-    ``record`` is thread-safe: the executor dispatches independent
-    remainder calls concurrently (see ``core.executor``), and every one of
-    them bills through this single ledger.
+    ``record`` and ``mark_wasted`` are thread-safe: the executor dispatches
+    independent remainder calls concurrently (see ``core.executor``), and
+    every one of them bills through this single ledger.
     """
 
     def __init__(self) -> None:
         self._entries: list[LedgerEntry] = []
+        self._wasted_keys: set[str] = set()
         self._lock = threading.Lock()
 
     def record(
@@ -46,13 +73,37 @@ class BillingLedger:
         transactions: int,
         price: float,
         elapsed_ms: float = 0.0,
+        idempotency_key: str | None = None,
     ) -> LedgerEntry:
         entry = LedgerEntry(
-            request, record_count, transactions, price, elapsed_ms
+            request,
+            record_count,
+            transactions,
+            price,
+            elapsed_ms,
+            idempotency_key,
         )
         with self._lock:
             self._entries.append(entry)
         return entry
+
+    def mark_wasted(self, idempotency_key: str) -> None:
+        """Reclassify the entry billed under ``idempotency_key`` as wasted.
+
+        Called by the transport when it abandons a call whose charge went
+        through but whose data never arrived: the money is gone, but it
+        must not inflate the spend series the evaluation plots.
+        """
+        if idempotency_key is None:
+            raise MarketError("cannot mark a keyless entry as wasted")
+        with self._lock:
+            self._wasted_keys.add(idempotency_key)
+
+    def is_wasted(self, entry: LedgerEntry) -> bool:
+        return (
+            entry.idempotency_key is not None
+            and entry.idempotency_key in self._wasted_keys
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,8 +111,30 @@ class BillingLedger:
     def __iter__(self) -> Iterator[LedgerEntry]:
         return iter(self._entries)
 
+    def _totals(self, wasted: bool) -> ChargeTotals:
+        calls = transactions = 0
+        price = 0.0
+        for entry in self._entries:
+            if self.is_wasted(entry) is not wasted:
+                continue
+            calls += 1
+            transactions += entry.transactions
+            price += entry.price
+        return ChargeTotals(calls, transactions, price)
+
+    @property
+    def spent(self) -> ChargeTotals:
+        """Charges for calls whose data was (eventually) delivered."""
+        return self._totals(wasted=False)
+
+    @property
+    def wasted_on_failures(self) -> ChargeTotals:
+        """Charges for billed calls whose data never arrived."""
+        return self._totals(wasted=True)
+
     @property
     def total_calls(self) -> int:
+        """Every billed call, delivered or not."""
         return len(self._entries)
 
     @property
@@ -70,15 +143,23 @@ class BillingLedger:
 
     @property
     def total_transactions(self) -> int:
-        return sum(entry.transactions for entry in self._entries)
+        """Transactions *spent* (wasted charges are reported separately)."""
+        return sum(
+            entry.transactions
+            for entry in self._entries
+            if not self.is_wasted(entry)
+        )
 
     @property
     def total_price(self) -> float:
-        return sum(entry.price for entry in self._entries)
+        """Money *spent* (wasted charges are reported separately)."""
+        return sum(
+            entry.price for entry in self._entries if not self.is_wasted(entry)
+        )
 
     @property
     def total_elapsed_ms(self) -> float:
-        """Simulated wall-clock spent on REST calls, summed serially."""
+        """Simulated wall-clock spent on billed REST calls, summed serially."""
         return sum(entry.elapsed_ms for entry in self._entries)
 
     def transactions_for_dataset(self, dataset: str) -> int:
@@ -87,12 +168,15 @@ class BillingLedger:
             entry.transactions
             for entry in self._entries
             if entry.request.dataset.lower() == wanted
+            and not self.is_wasted(entry)
         )
 
     def summary(self) -> str:
         """A short human-readable bill."""
         per_dataset: dict[str, tuple[int, int, float]] = {}
         for entry in self._entries:
+            if self.is_wasted(entry):
+                continue
             calls, transactions, price = per_dataset.get(
                 entry.request.dataset, (0, 0, 0.0)
             )
@@ -109,4 +193,10 @@ class BillingLedger:
             f"TOTAL: {self.total_calls} calls, "
             f"{self.total_transactions} transactions, ${self.total_price:g}"
         )
+        wasted = self.wasted_on_failures
+        if wasted:
+            lines.append(
+                f"WASTED on failures: {wasted.calls} calls, "
+                f"{wasted.transactions} transactions, ${wasted.price:g}"
+            )
         return "\n".join(lines)

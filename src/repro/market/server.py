@@ -14,6 +14,7 @@ the restrictions of the real marketplace interface:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.errors import MarketError
@@ -34,6 +35,15 @@ class DataMarket:
         #: Simulated call latency (INSTANT by default; pass a
         #: :class:`~repro.market.latency.LatencyModel` for realism).
         self.latency = latency if latency is not None else INSTANT
+        #: Server-side idempotency cache: key -> the response already billed
+        #: under that key.  A retried call carrying the same key replays the
+        #: stored response without billing again (at-most-once billing).
+        #: Unbounded by design — the simulator never runs long enough for
+        #: this to matter; a real gateway would expire keys after ~24h.
+        self._idempotency: dict[str, RestResponse] = {}
+        self._idempotency_lock = threading.Lock()
+        #: How many calls were answered from the idempotency cache (free).
+        self.replay_count = 0
 
     # -- registry ------------------------------------------------------------
 
@@ -68,8 +78,19 @@ class DataMarket:
 
     # -- the RESTful interface --------------------------------------------------
 
-    def get(self, request: RestRequest) -> RestResponse:
+    def get(
+        self,
+        request: RestRequest,
+        *,
+        idempotency_key: str | None = None,
+    ) -> RestResponse:
         """Execute one GET call, bill it, and return the matching records.
+
+        When ``idempotency_key`` is given and a call was already billed
+        under it, the stored response is replayed **without billing** —
+        this is the server half of at-most-once billing: a client that
+        never saw the response (it timed out in transit) can retry with the
+        same key and not pay twice.
 
         Thread-safe: calls are read-only against published data (lazy row
         indexes build under their own lock) and billing appends under the
@@ -77,6 +98,12 @@ class DataMarket:
         concurrently.  ``publish``/``append`` are not meant to race with
         in-flight GETs, mirroring a real market's release windows.
         """
+        if idempotency_key is not None:
+            with self._idempotency_lock:
+                cached = self._idempotency.get(idempotency_key)
+                if cached is not None:
+                    self.replay_count += 1
+                    return cached
         dataset = self.dataset(request.dataset)
         if request.table not in dataset:
             raise MarketError(
@@ -95,8 +122,9 @@ class DataMarket:
             transactions,
             price,
             elapsed_ms=elapsed_ms,
+            idempotency_key=idempotency_key,
         )
-        return RestResponse(
+        response = RestResponse(
             request=request,
             rows=rows,
             schema=market_table.schema,
@@ -104,6 +132,10 @@ class DataMarket:
             price=price,
             elapsed_ms=elapsed_ms,
         )
+        if idempotency_key is not None:
+            with self._idempotency_lock:
+                self._idempotency[idempotency_key] = response
+        return response
 
     @staticmethod
     def _validate(request: RestRequest, market_table: MarketTable) -> None:
