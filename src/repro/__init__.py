@@ -11,11 +11,16 @@ pieces most users need:
 * :class:`~repro.market.transport.TransportConfig` and
   :class:`~repro.market.faults.FaultPolicy` — the money-safe transport
   (retries, at-most-once billing, fault injection) and the exception
-  hierarchy it raises (:class:`~repro.errors.TransportError` and friends).
+  hierarchy it raises (:class:`~repro.errors.TransportError` and friends);
+* :class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.trace.QueryTrace`
+  and :class:`~repro.obs.metrics.MetricsRegistry` — the observability
+  layer behind ``PayLess(tracing=True)`` and ``explain_analyze``.
 """
 
 from repro.core.optimizer import OptimizerOptions
-from repro.core.payless import PayLess, QueryResult, QueryStats
+from repro.core.payless import Explanation, PayLess, QueryResult, QueryStats
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import QueryTrace, Tracer
 from repro.core.baselines import DownloadAllStrategy
 from repro.errors import (
     ExecutionError,
@@ -54,20 +59,25 @@ __all__ = [
     "Domain",
     "DownloadAllStrategy",
     "ExecutionError",
+    "Explanation",
     "FaultPolicy",
     "MarketError",
     "MarketUnavailableError",
+    "MetricsRegistry",
     "OptimizerOptions",
     "PayLess",
     "PlanningError",
     "PricingPolicy",
     "QueryResult",
     "QueryStats",
+    "QueryTrace",
+    "REGISTRY",
     "ReproError",
     "RetryExhaustedError",
     "Schema",
     "SqlAnalysisError",
     "Table",
+    "Tracer",
     "TransportConfig",
     "TransportError",
     "__version__",

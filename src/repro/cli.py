@@ -70,12 +70,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on retry exhaustion, keep the rows that arrived instead of "
         "failing the query",
     )
+    session.add_argument(
+        "--metrics", action="store_true",
+        help="print the session's metrics snapshot (memo hit rate, store "
+        "coverage, fetch-pool high-water mark, spent vs wasted cents)",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
     )
     explain.add_argument("--workload", choices=WORKLOADS, default="real")
-    explain.add_argument("sql", help="SQL text (no ? parameters)")
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="actually execute the query and annotate the plan with "
+        "actuals (est-vs-actual transactions, purchased vs cache-served "
+        "rows, wasted dollars)",
+    )
+    explain.add_argument(
+        "--trace-json", action="store_true",
+        help="also dump the query's span tree as JSON (implies --analyze)",
+    )
+    explain.add_argument(
+        "sql",
+        help="SQL text (no ? parameters); an 'EXPLAIN' or "
+        "'EXPLAIN ANALYZE' prefix is accepted and stripped",
+    )
 
     figures = commands.add_parser(
         "figures", help="regenerate one of the paper's figures"
@@ -143,20 +162,35 @@ def _cmd_session(args: argparse.Namespace) -> int:
             f"{session.wasted_transactions} transactions wasted "
             f"(${session.wasted_price:g})"
         )
+    if args.metrics and session.metrics:
+        print("\nmetrics:")
+        for name in sorted(session.metrics):
+            value = session.metrics[name]
+            rendered = f"{value:g}" if isinstance(value, float) else value
+            print(f"  {name} = {rendered}")
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.bench.harness import build_system
 
+    sql = args.sql.strip()
+    analyze = args.analyze or args.trace_json
+    upper = sql.upper()
+    if upper.startswith("EXPLAIN ANALYZE "):
+        analyze = True
+        sql = sql[len("EXPLAIN ANALYZE "):].strip()
+    elif upper.startswith("EXPLAIN "):
+        sql = sql[len("EXPLAIN "):].strip()
     data = make_workload(args.workload)
     payless, __ = build_system("payless", data)
-    planning = payless.explain(args.sql)
-    print(planning.plan.describe())
-    print(
-        f"\nestimated transactions: {planning.cost:.0f}; "
-        f"candidate plans evaluated: {planning.evaluated_plans}"
+    explanation = (
+        payless.explain_analyze(sql) if analyze else payless.explain(sql)
     )
+    print(explanation.render())
+    if args.trace_json:
+        print()
+        print(explanation.trace.to_json())
     return 0
 
 

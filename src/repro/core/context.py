@@ -15,6 +15,8 @@ from repro.core.rewriter import SemanticRewriter
 from repro.errors import PlanningError
 from repro.market.server import DataMarket
 from repro.market.transport import MarketTransport, TransportConfig
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.relational.database import Database
 from repro.relational.schema import Schema
 from repro.relational.table import Table
@@ -62,12 +64,23 @@ class PlanningContext:
         local_db: Database,
         max_concurrent_calls: int | None = None,
         transport: TransportConfig | MarketTransport | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.market = market
         self.catalog = catalog
         self.store = store
         self.rewriter = rewriter
         self.local_db = local_db
+        #: Observability: the query tracer (disabled by default — near-zero
+        #: overhead) and the metrics registry (the process-wide default
+        #: unless the installation wants isolation).  Threaded from here
+        #: into the rewriter and the transport so every pipeline layer
+        #: reports into the same trace/registry.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else REGISTRY
+        self.rewriter.tracer = self.tracer
+        self.rewriter.metrics = self.metrics
         #: The money-safe transport every executor call goes through (see
         #: :mod:`repro.market.transport`).  Lives here, not on the
         #: executor: circuit breakers must remember failures across
@@ -75,7 +88,9 @@ class PlanningContext:
         if isinstance(transport, MarketTransport):
             self.transport = transport
         else:
-            self.transport = MarketTransport(market, transport)
+            self.transport = MarketTransport(
+                market, transport, metrics=self.metrics
+            )
         if max_concurrent_calls is not None and max_concurrent_calls < 1:
             raise PlanningError("max_concurrent_calls must be >= 1")
         #: Upper bound on concurrently in-flight market calls per table

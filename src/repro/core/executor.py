@@ -32,6 +32,7 @@ with the failed regions reported on the result.
 from __future__ import annotations
 
 import heapq
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -224,7 +225,14 @@ class Executor:
         self._fetch(plan)
 
         staging = self._build_staging(query)
-        relation = evaluate(staging, query)
+        tracer = self.context.tracer
+        if tracer.enabled:
+            with tracer.span("local_eval") as eval_span:
+                relation = evaluate(staging, query)
+                if eval_span is not None:
+                    eval_span.set(output_rows=len(relation.rows))
+        else:
+            relation = evaluate(staging, query)
 
         scope = self._scope
         return ExecutionResult(
@@ -249,7 +257,7 @@ class Executor:
         if isinstance(node, LocalBlockNode):
             return self._fetch_block(node)
         if isinstance(node, MarketAccessNode):
-            relation = self._fetch_market(node.table, ())
+            relation = self._fetch_market(node.table, (), source="access")
             return _Fetched([relation])
         if isinstance(node, JoinNode):
             left = self._fetch(node.left)
@@ -270,7 +278,7 @@ class Executor:
         block_db = Database()
         for table_name in node.tables:
             if self.context.is_market(table_name):
-                relation = self._fetch_market(table_name, ())
+                relation = self._fetch_market(table_name, (), source="covered")
                 schema = self.context.schema_of(table_name)
                 staged = Table(table_name, schema)
                 staged.extend(relation.rows)
@@ -312,18 +320,46 @@ class Executor:
             outer = predicate.other_side(node.table)
             values = left.distinct_values(outer)
             if not values:
+                # Still one (zero-width) fetch span per MarketAccessNode:
+                # EXPLAIN ANALYZE and the trace invariants rely on it.
+                tracer = self.context.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "table_fetch",
+                        table=node.table,
+                        source="bound",
+                        empty_bindings=True,
+                        calls=0,
+                        purchased_rows=0,
+                        cache_served_rows=0,
+                        transactions=0,
+                        price=0.0,
+                    )
                 return self._empty_relation(node.table)
             extra.append(
                 AttributeConstraint(inner.column, values=frozenset(values))
             )
-        return self._fetch_market(node.table, tuple(extra))
+        return self._fetch_market(node.table, tuple(extra), source="bound")
 
     def _fetch_market(
         self,
         table: str,
         extra_constraints: tuple[AttributeConstraint, ...],
+        source: str = "access",
     ) -> Relation:
         """Rewrite, buy the remainder, record feedback, return region rows."""
+        tracer = self.context.tracer
+        if not tracer.enabled:
+            return self._fetch_market_inner(table, extra_constraints, None)
+        with tracer.span("table_fetch", table=table, source=source) as span:
+            return self._fetch_market_inner(table, extra_constraints, span)
+
+    def _fetch_market_inner(
+        self,
+        table: str,
+        extra_constraints: tuple[AttributeConstraint, ...],
+        span,
+    ) -> Relation:
         constraints = list(self._query.constraints_for(table)) + list(
             extra_constraints
         )
@@ -343,20 +379,64 @@ class Executor:
             )
         dataset = self.context.dataset_of(table)
         statistics = self.context.catalog.statistics(table)
-        outcomes = self._issue_market_calls(dataset, table, rewrite.remainder)
+        ledger = self.context.market.ledger
+        checkpoint = ledger.checkpoint() if span is not None else 0
+        outcomes = self._issue_market_calls(
+            dataset, table, rewrite.remainder, span
+        )
         # Record serially in remainder order: store coverage, histogram
         # feedback, and billing totals end up identical to serial fetch.
         # Only *completed* fetches are recorded — a failed box must never
         # enter the coverage index, or a future query would silently skip
         # buying data it does not have (the store-poisoning hazard).
         failed: list[FailedFetch] = []
+        purchased_rows = 0
         for remainder, outcome in zip(rewrite.remainder, outcomes):
             if isinstance(outcome, FailedFetch):
                 failed.append(outcome)
                 continue
             response = outcome.response
+            purchased_rows += response.record_count
             self.context.store.record(table, remainder.box, response.rows)
             statistics.histogram.observe(remainder.box, response.record_count)
+        if span is not None:
+            # Ledger-grounded attribution: everything billed between the
+            # checkpoint and now was billed *by this table access* (table
+            # fetches are serial relative to each other), so per-span spent
+            # totals sum exactly to the query's QueryStats.
+            entries = ledger.entries_since(checkpoint)
+            billed_transactions = sum(e.transactions for e in entries)
+            billed_price = sum(e.price for e in entries)
+            wasted_transactions = sum(
+                e.transactions for e in entries if ledger.is_wasted(e)
+            )
+            wasted_price = sum(
+                e.price for e in entries if ledger.is_wasted(e)
+            )
+            span.set(
+                calls=len(outcomes),
+                failed_calls=len(failed),
+                retries=sum(
+                    max(0, getattr(o.error, "attempts", 0) - 1)
+                    if isinstance(o, FailedFetch)
+                    else o.retries
+                    for o in outcomes
+                ),
+                replays=sum(
+                    1
+                    for o in outcomes
+                    if not isinstance(o, FailedFetch) and o.replayed
+                ),
+                purchased_rows=purchased_rows,
+                transactions=billed_transactions - wasted_transactions,
+                price=billed_price - wasted_price,
+                billed_transactions=billed_transactions,
+                billed_price=billed_price,
+                wasted_transactions=wasted_transactions,
+                wasted_price=wasted_price,
+                estimated_transactions=rewrite.estimated_transactions,
+                fully_covered=rewrite.fully_covered,
+            )
         if failed:
             if not self.context.transport.config.partial_results:
                 raise MarketUnavailableError(
@@ -368,6 +448,8 @@ class Executor:
             self._failed_fetches.extend(failed)
 
         rows = self.context.store.rows_in_boxes(table, rewrite.request_boxes)
+        if span is not None:
+            span.set(cache_served_rows=max(0, len(rows) - purchased_rows))
         relation = Relation(
             RowLayout.for_table(table, self.context.schema_of(table).names),
             rows,
@@ -384,7 +466,9 @@ class Executor:
                 staged.append(row)
         return relation
 
-    def _issue_market_calls(self, dataset, table, remainders) -> list:
+    def _issue_market_calls(
+        self, dataset, table, remainders, parent_span=None
+    ) -> list:
         """Issue the remainder GETs through the transport, concurrently when
         allowed.
 
@@ -395,28 +479,67 @@ class Executor:
         :class:`FailedFetch` — per-call failures are captured rather than
         raised so sibling successes can still be recorded (the money was
         spent; keeping the data saves a future re-purchase).
+
+        Tracing under concurrency is race-free by construction: worker
+        threads only create *detached* ``market_call`` spans (private
+        objects, no shared trace state — see :mod:`repro.obs.trace`) plus
+        lock-guarded in-flight counters; the coordinating thread adopts
+        the finished spans into ``parent_span`` in request order after the
+        pool drains, so per-fetch timing and attempt counts are recorded
+        identically regardless of thread scheduling.
         """
         transport = self.context.transport
         scope = self._scope
+        tracer = self.context.tracer
+        tracing = parent_span is not None and tracer.enabled
+        metrics = self.context.metrics
         requests = [
             RestRequest(dataset, table, remainder.constraints)
             for remainder in remainders
         ]
+        if requests:
+            metrics.histogram("fetch_batch_size").observe(len(requests))
+        high_water = metrics.gauge("fetch_pool_high_water")
+        in_flight_lock = threading.Lock()
+        in_flight = 0
 
         def issue(request: RestRequest):
+            nonlocal in_flight
+            with in_flight_lock:
+                in_flight += 1
+                high_water.set_max(in_flight)
+            call_span = (
+                tracer.detached_span("market_call", url=request.url())
+                if tracing
+                else None
+            )
             try:
-                return transport.fetch(request, scope)
-            except TransportError as error:
-                return FailedFetch(table=table, request=request, error=error)
+                try:
+                    outcome = transport.fetch(request, scope)
+                except TransportError as error:
+                    outcome = FailedFetch(
+                        table=table, request=request, error=error
+                    )
+            finally:
+                with in_flight_lock:
+                    in_flight -= 1
+            if call_span is not None:
+                self._finish_call_span(call_span, outcome)
+            return outcome, call_span
 
         limit = self.max_concurrent_calls
         if limit > 1 and len(requests) > 1:
             with ThreadPoolExecutor(
                 max_workers=min(limit, len(requests))
             ) as pool:
-                outcomes = list(pool.map(issue, requests))
+                results = list(pool.map(issue, requests))
         else:
-            outcomes = [issue(request) for request in requests]
+            results = [issue(request) for request in requests]
+        outcomes = [outcome for outcome, _ in results]
+        if tracing:
+            for _, call_span in results:
+                if call_span is not None:
+                    parent_span.adopt(call_span)
         durations = [
             outcome.error.elapsed_ms
             if isinstance(outcome, FailedFetch)
@@ -426,6 +549,49 @@ class Executor:
         self._serial_ms += sum(durations)
         self._critical_path_ms += _makespan(durations, limit)
         return outcomes
+
+    def _finish_call_span(self, span, outcome) -> None:
+        """Stamp one detached ``market_call`` span from its outcome.
+
+        ``transactions``/``price`` are what the call actually *spent*
+        (billed minus wasted) so call spans sum to the query's stats;
+        billed/wasted are kept separately for dollar attribution.
+        """
+        if isinstance(outcome, FailedFetch):
+            error = outcome.error
+            attempts = getattr(error, "attempts", 0)
+            span.set(
+                failed=True,
+                error=str(error),
+                attempts=attempts,
+                retries=max(0, attempts - 1),
+                replayed=False,
+                rows=0,
+                transactions=error.billed_transactions
+                - error.wasted_transactions,
+                price=error.billed_price - error.wasted_price,
+                billed_transactions=error.billed_transactions,
+                billed_price=error.billed_price,
+                wasted_transactions=error.wasted_transactions,
+                wasted_price=error.wasted_price,
+                elapsed_ms=error.elapsed_ms,
+            )
+        else:
+            span.set(
+                failed=False,
+                attempts=outcome.attempts,
+                retries=outcome.retries,
+                replayed=outcome.replayed,
+                rows=outcome.response.record_count,
+                transactions=outcome.billed_transactions,
+                price=outcome.billed_price,
+                billed_transactions=outcome.billed_transactions,
+                billed_price=outcome.billed_price,
+                wasted_transactions=0,
+                wasted_price=0.0,
+                elapsed_ms=outcome.elapsed_ms,
+            )
+        span.finish(self.context.tracer.clock())
 
     def _empty_relation(self, table: str) -> Relation:
         self._staged.setdefault(table.lower(), [])
@@ -438,12 +604,19 @@ class Executor:
 
     def _build_staging(self, query: LogicalQuery) -> Database:
         staging = Database()
+        tracer = self.context.tracer
+        tracing = tracer.enabled
         for table_name in query.tables:
             if self.context.is_market(table_name):
                 schema = self.context.schema_of(table_name)
                 staged = Table(table_name, schema)
                 staged.extend(self._staged.get(table_name.lower(), []))
                 staging.add(staged)
+                rows = len(staged)
             else:
-                staging.add(self.context.local_db.table(table_name))
+                local = self.context.local_db.table(table_name)
+                staging.add(local)
+                rows = len(local)
+            if tracing:
+                tracer.event("stage", table=table_name, rows=rows)
         return staging

@@ -85,10 +85,26 @@ class Optimizer:
     def __init__(self, context: PlanningContext, options: OptimizerOptions | None = None):
         self.context = context
         self.options = options or OptimizerOptions()
+        self._tracing = False
 
     # ------------------------------------------------------------------ entry
 
     def optimize(self, query: LogicalQuery) -> PlanningResult:
+        tracer = self.context.tracer
+        self._tracing = tracer.enabled
+        if not self._tracing:
+            return self._optimize(query)
+        with tracer.span("plan") as span:
+            result = self._optimize(query)
+            span.set(
+                evaluated_plans=result.evaluated_plans,
+                cost=result.cost,
+                enumerated_boxes=result.enumerated_boxes,
+                kept_boxes=result.kept_boxes,
+            )
+            return result
+
+    def _optimize(self, query: LogicalQuery) -> PlanningResult:
         self._query = query
         self._evaluated = 0
         self._enumerated_boxes = 0
@@ -262,7 +278,17 @@ class Optimizer:
         candidate: _SubPlan,
     ) -> None:
         incumbent = best.get(key)
-        if incumbent is None or candidate.cost < incumbent.cost:
+        accepted = incumbent is None or candidate.cost < incumbent.cost
+        if self._tracing:
+            # Rejected candidates are exactly what EXPLAIN cannot show —
+            # the trace records every considered (sub)plan with its cost.
+            self.context.tracer.event(
+                "plan_candidate",
+                tables=sorted(key),
+                cost=candidate.cost,
+                accepted=accepted,
+            )
+        if accepted:
             best[key] = candidate
 
     def _combine_components(

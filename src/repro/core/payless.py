@@ -35,6 +35,9 @@ from repro.core.rewriter import SemanticRewriter
 from repro.errors import PlanningError
 from repro.market.server import DataMarket
 from repro.market.transport import TransportConfig
+from repro.obs.explain import render_explain, render_explain_analyze
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import QueryTrace, Tracer
 from repro.relational.database import Database
 from repro.relational.operators import Relation
 from repro.relational.query import LogicalQuery
@@ -103,6 +106,9 @@ class QueryStats:
     #: Regions that could not be bought (non-empty only under
     #: ``partial_results``; otherwise the query raises instead).
     failed_fetches: tuple[FailedFetch, ...] = ()
+    #: Snapshot of the installation's metrics registry taken right after
+    #: this query (see :mod:`repro.obs.metrics` for the names).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def fetched_records(self) -> int:
@@ -152,6 +158,8 @@ class QueryResult:
     relation: Relation
     plan: PlanNode
     stats: QueryStats = field(default_factory=QueryStats)
+    #: The query's span tree, when the installation's tracer was enabled.
+    trace: QueryTrace | None = None
 
     @property
     def rows(self) -> list[tuple]:
@@ -181,6 +189,59 @@ for _name in _FORWARDED_STATS:
 del _name
 
 
+@dataclass
+class Explanation:
+    """What :meth:`PayLess.explain` returns: the plan plus its rendering.
+
+    Forwards the :class:`~repro.core.optimizer.PlanningResult` attributes
+    (``plan``, ``cost``, ``evaluated_plans``, ...) so callers that treated
+    ``explain()`` as returning the planning result keep working;
+    ``str(explanation)`` (or :meth:`render`) is the EXPLAIN text.  After
+    :meth:`PayLess.explain_analyze`, ``stats``/``trace``/``result`` carry
+    the executed query's actuals and the rendering annotates each node.
+    """
+
+    planning: PlanningResult
+    label: str | None = None
+    stats: QueryStats | None = None
+    trace: QueryTrace | None = None
+    result: QueryResult | None = None
+
+    @property
+    def plan(self) -> PlanNode:
+        return self.planning.plan
+
+    @property
+    def cost(self) -> float:
+        return self.planning.cost
+
+    @property
+    def evaluated_plans(self) -> int:
+        return self.planning.evaluated_plans
+
+    @property
+    def enumerated_boxes(self) -> int:
+        return self.planning.enumerated_boxes
+
+    @property
+    def kept_boxes(self) -> int:
+        return self.planning.kept_boxes
+
+    @property
+    def analyzed(self) -> bool:
+        return self.stats is not None
+
+    def render(self) -> str:
+        if self.stats is not None:
+            return render_explain_analyze(
+                self.planning, self.stats, self.trace, self.label
+            )
+        return render_explain(self.planning, self.label)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
 class PayLess:
     """A buyer-side installation of the PayLess system."""
 
@@ -194,12 +255,20 @@ class PayLess:
         statistic: str = "isomer",
         max_concurrent_calls: int | None = None,
         transport: TransportConfig | None = None,
+        tracing: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self.market = market
         self.options = options or OptimizerOptions()
         #: The money-safe transport configuration (retries, backoff,
         #: circuit breakers, fault injection, partial results).
         self.transport_config = transport or TransportConfig()
+        #: Observability: structured tracing (off by default — near-zero
+        #: overhead; flip ``payless.tracer.enabled`` or use
+        #: :meth:`explain_analyze` for one query) and the metrics registry
+        #: (the process-wide default unless a private one is handed in).
+        self.tracer = Tracer(enabled=tracing)
+        self.metrics = metrics if metrics is not None else REGISTRY
         #: Which updatable statistic drives estimation ("isomer",
         #: "independence", or "uniform"; see repro.stats.interface).
         self.statistic = statistic
@@ -220,6 +289,8 @@ class PayLess:
             local_db=self.local_db,
             max_concurrent_calls=max_concurrent_calls,
             transport=self.transport_config,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         for table in self.local_db:
             self.context.register_local(table)
@@ -287,20 +358,85 @@ class PayLess:
         """Parse + analyze ``sql`` against registered tables."""
         return compile_sql(sql, self.context, params)
 
-    def explain(self, sql: str, params: Sequence[Any] = ()) -> PlanningResult:
-        """Optimize without executing; the plan's ``describe()`` is printable."""
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> Explanation:
+        """Optimize without executing: no market call, no billing.
+
+        ``str(...)`` of the returned :class:`Explanation` is the EXPLAIN
+        text; it also forwards every planning-result attribute (``plan``,
+        ``cost``, ``evaluated_plans``, ...), so existing callers keep
+        working unchanged.
+        """
         query = self.compile(sql, params)
-        return Optimizer(self.context, self.options).optimize(query)
+        planning = Optimizer(self.context, self.options).optimize(query)
+        return Explanation(planning=planning, label=sql)
+
+    def explain_analyze(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> Explanation:
+        """Execute ``sql`` with tracing forced on; render est-vs-actuals.
+
+        The tracer is enabled for exactly this one query and restored
+        afterwards, so an installation running with tracing off pays the
+        tracing overhead only when explicitly asked to ANALYZE.
+        """
+        tracer = self.tracer
+        previous = tracer.enabled
+        tracer.enabled = True
+        try:
+            tracer.begin_query(sql)
+            try:
+                with tracer.span("parse"):
+                    logical = self.compile(sql, params)
+            except BaseException:
+                tracer.end_query()
+                raise
+            result, planning = self._execute(logical)
+        finally:
+            tracer.enabled = previous
+        return Explanation(
+            planning=planning,
+            label=sql,
+            stats=result.stats,
+            trace=result.trace,
+            result=result,
+        )
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
         """Optimize and execute ``sql``, paying as little as possible."""
-        logical = self.compile(sql, params)
+        tracer = self.tracer
+        if not tracer.enabled:
+            logical = self.compile(sql, params)
+            return self.execute_logical(logical)
+        tracer.begin_query(sql)
+        try:
+            with tracer.span("parse"):
+                logical = self.compile(sql, params)
+        except BaseException:
+            tracer.end_query()
+            raise
         return self.execute_logical(logical)
 
     def execute_logical(self, logical: LogicalQuery) -> QueryResult:
         """Run an already-compiled query (the benchmark harness fast path)."""
-        planning = Optimizer(self.context, self.options).optimize(logical)
-        execution = Executor(self.context).execute(logical, planning.plan)
+        result, __ = self._execute(logical)
+        return result
+
+    def _execute(
+        self, logical: LogicalQuery
+    ) -> tuple[QueryResult, PlanningResult]:
+        tracer = self.tracer
+        tracing = tracer.enabled
+        # query()/explain_analyze() open the trace around parsing; a
+        # directly-executed logical query opens it here instead.
+        if tracing and tracer.active is None:
+            tracer.begin_query(", ".join(logical.tables))
+        try:
+            planning = Optimizer(self.context, self.options).optimize(logical)
+            execution = Executor(self.context).execute(logical, planning.plan)
+        except BaseException:
+            if tracing:
+                tracer.end_query()
+            raise
         self.total_transactions += execution.transactions
         self.total_price += execution.price
         self.total_calls += execution.calls
@@ -322,9 +458,22 @@ class PayLess:
                 used_bind_join=_has_bind(planning.plan),
             )
         )
-        return QueryResult(
+        trace = tracer.end_query() if tracing else None
+        metrics = self.metrics
+        metrics.counter("queries").inc()
+        metrics.counter("transactions_spent").inc(execution.transactions)
+        metrics.counter("cents_spent").inc(execution.price * 100.0)
+        if execution.wasted_price:
+            metrics.counter("cents_wasted").inc(
+                execution.wasted_price * 100.0
+            )
+        metrics.histogram("query_transactions").observe(
+            execution.transactions
+        )
+        result = QueryResult(
             relation=execution.relation,
             plan=planning.plan,
+            trace=trace,
             stats=QueryStats(
                 transactions=execution.transactions,
                 price=execution.price,
@@ -343,8 +492,10 @@ class PayLess:
                 wasted_transactions=execution.wasted_transactions,
                 wasted_price=execution.wasted_price,
                 failed_fetches=execution.failed_fetches,
+                metrics=metrics.snapshot(),
             ),
         )
+        return result, planning
 
     def query_batch(
         self, batch: Sequence[tuple[str, Sequence[Any]]]

@@ -116,6 +116,10 @@ class SemanticRewriter:
         #: Memoization observability (asserted by tests, shown in benches).
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Observability hooks, wired by :class:`~repro.core.context.
+        #: PlanningContext` (``None`` = standalone rewriter, no reporting).
+        self.tracer = None
+        self.metrics = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -146,15 +150,39 @@ class SemanticRewriter:
             hash(key)
         except TypeError:  # unhashable constraint value: compute uncached
             key = None
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if key is not None:
             cached = self._memo.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                if tracing:
+                    tracer.event("memo", table=table, hit=True)
+                if self.metrics is not None:
+                    self.metrics.counter("memo_hits").inc()
                 return cached
         self.cache_misses += 1
-        result = self._rewrite_uncached(
-            table, constraints, tuples_per_transaction
-        )
+        if tracing:
+            tracer.event("memo", table=table, hit=False)
+            with tracer.span("rewrite", table=table) as span:
+                result = self._rewrite_uncached(
+                    table, constraints, tuples_per_transaction
+                )
+                span.set(
+                    remainder=len(result.remainder),
+                    estimated_transactions=result.estimated_transactions,
+                    fully_covered=result.fully_covered,
+                    used_rewriting=result.used_rewriting,
+                )
+        else:
+            result = self._rewrite_uncached(
+                table, constraints, tuples_per_transaction
+            )
+        if self.metrics is not None:
+            self.metrics.counter("memo_misses").inc()
+            self.metrics.counter("rewrites").inc()
+            if result.fully_covered:
+                self.metrics.counter("rewrites_covered").inc()
         result.store_epoch = epoch
         if key is not None:
             if len(self._memo) >= self.MEMO_CAP:

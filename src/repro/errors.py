@@ -59,6 +59,14 @@ class TransportError(MarketError):
     #: Simulated wall-clock burned on the call before it failed terminally
     #: (set by the transport when it gives up on a call).
     elapsed_ms: float = 0.0
+    #: Billing attribution for the failed call (set by the transport):
+    #: what the call caused the market to bill before it was abandoned,
+    #: and how much of that was reclassified as wasted.  Traces read these
+    #: so every ledger dollar stays attributable to exactly one call.
+    billed_transactions: int = 0
+    billed_price: float = 0.0
+    wasted_transactions: int = 0
+    wasted_price: float = 0.0
 
 
 class RetryExhaustedError(TransportError):

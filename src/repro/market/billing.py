@@ -87,6 +87,20 @@ class BillingLedger:
             self._entries.append(entry)
         return entry
 
+    def checkpoint(self) -> int:
+        """An opaque position marker for :meth:`entries_since`.
+
+        The trace layer brackets each table access with a checkpoint pair
+        to attribute every billed entry to exactly one fetch span.
+        """
+        with self._lock:
+            return len(self._entries)
+
+    def entries_since(self, checkpoint: int) -> tuple[LedgerEntry, ...]:
+        """Entries recorded since ``checkpoint`` (append-only, so stable)."""
+        with self._lock:
+            return tuple(self._entries[checkpoint:])
+
     def mark_wasted(self, idempotency_key: str) -> None:
         """Reclassify the entry billed under ``idempotency_key`` as wasted.
 

@@ -116,7 +116,12 @@ class CircuitBreaker:
     tests can walk it through its transitions deterministically.
     """
 
-    def __init__(self, failure_threshold: int, cooldown_ms: float):
+    def __init__(
+        self,
+        failure_threshold: int,
+        cooldown_ms: float,
+        on_transition=None,
+    ):
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
         self._state = BreakerState.CLOSED
@@ -124,10 +129,21 @@ class CircuitBreaker:
         self._opened_at_ms = 0.0
         self._probe_in_flight = False
         self._lock = threading.Lock()
+        #: Optional ``callback(old_state, new_state)`` fired on every state
+        #: change (the transport wires it to the metrics registry).
+        self._on_transition = on_transition
 
     @property
     def state(self) -> BreakerState:
         return self._state
+
+    def _set_state(self, new_state: BreakerState) -> None:
+        old_state = self._state
+        if old_state is new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)
 
     def allow(self, now_ms: float) -> bool:
         """Whether a call may proceed at simulated time ``now_ms``."""
@@ -137,7 +153,7 @@ class CircuitBreaker:
             if self._state is BreakerState.OPEN:
                 if now_ms - self._opened_at_ms < self.cooldown_ms:
                     return False
-                self._state = BreakerState.HALF_OPEN
+                self._set_state(BreakerState.HALF_OPEN)
                 self._probe_in_flight = True
                 return True
             # HALF_OPEN: exactly one probe at a time.
@@ -148,7 +164,7 @@ class CircuitBreaker:
 
     def on_success(self) -> None:
         with self._lock:
-            self._state = BreakerState.CLOSED
+            self._set_state(BreakerState.CLOSED)
             self._consecutive_failures = 0
             self._probe_in_flight = False
 
@@ -159,7 +175,7 @@ class CircuitBreaker:
                 self._state is BreakerState.HALF_OPEN
                 or self._consecutive_failures >= self.failure_threshold
             ):
-                self._state = BreakerState.OPEN
+                self._set_state(BreakerState.OPEN)
                 self._opened_at_ms = now_ms
                 self._probe_in_flight = False
 
@@ -230,6 +246,12 @@ class FetchResult:
     #: Whether the delivered response came from an idempotency replay
     #: (i.e. an earlier attempt was billed and this retry was free).
     replayed: bool = False
+    #: Everything this logical call caused the market to bill, across all
+    #: its attempts and duplicate deliveries.  With idempotency keys this
+    #: equals the response's own billing; a naive client's retries can
+    #: bill more.  Traces attribute every ledger dollar through these.
+    billed_transactions: int = 0
+    billed_price: float = 0.0
 
     @property
     def retries(self) -> int:
@@ -249,10 +271,18 @@ class MarketTransport:
     rebuilding the installation.
     """
 
-    def __init__(self, market: DataMarket, config: TransportConfig | None = None):
+    def __init__(
+        self,
+        market: DataMarket,
+        config: TransportConfig | None = None,
+        metrics=None,
+    ):
         self.market = market
         self.config = config or TransportConfig()
         self.faults: FaultPolicy | None = self.config.faults
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: circuit-breaker state changes are counted into it.
+        self.metrics = metrics
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         #: Simulated monotonic clock (ms) advanced by call latencies and
@@ -290,9 +320,20 @@ class MarketTransport:
                 breaker = CircuitBreaker(
                     self.config.breaker_failure_threshold,
                     self.config.breaker_cooldown_ms,
+                    on_transition=self._note_breaker_transition,
                 )
                 self._breakers[key] = breaker
             return breaker
+
+    def _note_breaker_transition(
+        self, old_state: BreakerState, new_state: BreakerState
+    ) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.counter("breaker_transitions").inc()
+        if new_state is BreakerState.OPEN:
+            metrics.counter("breaker_opens").inc()
 
     def new_scope(self) -> QueryScope:
         return QueryScope(self.config.retry_budget)
@@ -346,6 +387,8 @@ class MarketTransport:
                 response=response,
                 attempts=1,
                 elapsed_ms=response.elapsed_ms,
+                billed_transactions=response.transactions,
+                billed_price=response.price,
             )
         config = self.config
         breaker = self.breaker_for(request.dataset)
@@ -357,15 +400,29 @@ class MarketTransport:
         attempts = 0
         elapsed_ms = 0.0
         billed: RestResponse | None = None
+        #: Everything this logical call has caused the market to bill so
+        #: far (all attempts + duplicate deliveries) — the trace layer
+        #: attributes every ledger dollar to exactly one call through it.
+        billed_transactions = 0
+        billed_price = 0.0
 
         def fail(error: Exception) -> Exception:
+            wasted_transactions = 0
+            wasted_price = 0.0
             if billed is not None and key is not None:
                 self.market.ledger.mark_wasted(key)
                 scope.note_waste(billed.transactions, billed.price)
+                wasted_transactions = billed.transactions
+                wasted_price = billed.price
             scope.note_failed_call()
             # Simulated wall-clock burned before giving up: the executor's
             # makespan accounting charges failed calls honestly too.
             error.elapsed_ms = elapsed_ms
+            # Billing attribution for the fetch span of this failed call.
+            error.billed_transactions = billed_transactions
+            error.billed_price = billed_price
+            error.wasted_transactions = wasted_transactions
+            error.wasted_price = wasted_price
             return error
 
         while True:
@@ -391,6 +448,9 @@ class MarketTransport:
                     replayed = key is not None and billed is not None
                     if replayed:
                         scope.note_replay()
+                    else:
+                        billed_transactions += response.transactions
+                        billed_price += response.price
                     attempt_ms = (
                         latency.call_ms(0) if replayed else response.elapsed_ms
                     )
@@ -411,7 +471,9 @@ class MarketTransport:
                             self.market.get(request, idempotency_key=key)
                             scope.note_replay()
                         else:
-                            self.market.get(request)
+                            duplicate = self.market.get(request)
+                            billed_transactions += duplicate.transactions
+                            billed_price += duplicate.price
                         dup_ms = latency.call_ms(0)
                         elapsed_ms += dup_ms
                         self.advance_clock(dup_ms)
@@ -421,6 +483,8 @@ class MarketTransport:
                         attempts=attempts,
                         elapsed_ms=elapsed_ms,
                         replayed=replayed,
+                        billed_transactions=billed_transactions,
+                        billed_price=billed_price,
                     )
                 # Pure transport failures: the server never billed.
                 if kind is FaultKind.TIMEOUT:

@@ -1,0 +1,41 @@
+"""Cost-attributed observability: tracing, metrics, EXPLAIN.
+
+PayLess's value proposition is *explaining where the money goes*, so this
+package makes cost attribution a first-class optimizer output rather than
+a log afterthought:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` of typed spans threaded
+  through the planner → rewriter → executor → transport pipeline.  Every
+  dollar billed during a query is attributable to exactly one
+  ``market_call`` span; memo hits, plan candidates, and local evaluation
+  get spans too.  Disabled by default at near-zero overhead.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms (queries, memo hit rate, coverage ratio, fetch-pool
+  high-water mark, breaker transitions, spent vs wasted cents).
+* :mod:`repro.obs.explain` — renderers for ``EXPLAIN`` (the chosen plan
+  with estimated transactions and the rewriter's coverage/remainder
+  boxes) and ``EXPLAIN ANALYZE`` (the same tree annotated with actuals:
+  est-vs-actual transactions, cache-served vs purchased rows, wasted
+  dollars), plus the ``--trace-json`` machine rendering.
+"""
+
+from repro.obs.explain import (
+    render_explain,
+    render_explain_analyze,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import QueryTrace, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "QueryTrace",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "render_explain",
+    "render_explain_analyze",
+    "trace_to_dict",
+    "trace_to_json",
+]

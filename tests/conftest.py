@@ -1,6 +1,9 @@
-"""Shared fixtures: a small deterministic weather market and buyer setup."""
+"""Shared fixtures: a small deterministic weather market and buyer setup,
+plus the golden-file machinery for the EXPLAIN rendering tests."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +18,48 @@ from repro import (
 )
 from repro.relational.schema import Attribute, Domain, Schema
 from repro.relational.types import AttributeType as T
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden renderings under tests/goldens/ instead "
+        "of comparing against them",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a rendered string against ``tests/goldens/<name>.txt``.
+
+    ``pytest --update-goldens`` rewrites the files instead of comparing,
+    which is how a rendering change gets reviewed: the golden diff IS the
+    review artifact.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, actual: str) -> None:
+        path = GOLDENS_DIR / f"{name}.txt"
+        if update:
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(actual + "\n")
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; run "
+            f"`pytest --update-goldens` and commit the result"
+        )
+        expected = path.read_text()[:-1]  # strip the trailing newline
+        assert actual == expected, (
+            f"rendering diverges from golden {path.name}; if the change is "
+            f"intended, re-run with --update-goldens and review the diff\n"
+            f"--- golden ---\n{expected}\n--- actual ---\n{actual}"
+        )
+
+    return check
 
 
 @pytest.fixture

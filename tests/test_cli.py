@@ -38,7 +38,72 @@ class TestExplain:
         assert code == 0
         out = capsys.readouterr().out
         assert "MarketAccess(Weather)" in out
-        assert "estimated transactions" in out
+        assert "estimated:" in out
+        assert "coverage:" in out
+
+    def test_explain_prefix_is_stripped(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload",
+                "real",
+                "EXPLAIN SELECT * FROM Weather WHERE Weather.Date <= 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN EXPLAIN" not in out
+        assert "MarketAccess(Weather)" in out
+
+    def test_explain_analyze_prints_actuals(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload",
+                "real",
+                "--analyze",
+                "SELECT * FROM Weather WHERE Weather.Date <= 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "actual:" in out
+        assert "purchased" in out
+
+    def test_trace_json_dumps_span_tree(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload",
+                "real",
+                "--trace-json",
+                "EXPLAIN ANALYZE SELECT * FROM Weather WHERE Weather.Date <= 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"kind": "query"' in out
+        assert '"kind": "table_fetch"' in out
+
+
+class TestSessionMetrics:
+    def test_session_metrics_flag_prints_snapshot(self, capsys):
+        code = main(
+            [
+                "session",
+                "--workload",
+                "real",
+                "--instances",
+                "1",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "queries = " in out
+        assert "transactions_spent = " in out
 
 
 class TestFigures:

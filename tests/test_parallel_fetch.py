@@ -16,9 +16,12 @@ from repro.bench.figures import BenchProfile, make_instances, make_workload
 from repro.core.executor import _makespan
 from repro.core.payless import PayLess
 from repro.errors import ExecutionError, PlanningError
+from repro.market.faults import FaultPolicy
 from repro.market.latency import LatencyModel
 from repro.market.rest import RestRequest
 from repro.market.server import DataMarket
+from repro.market.transport import TransportConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.relational.query import AttributeConstraint
 from repro.testing import registered_payless, tiny_weather_market
 from repro.workloads.weather import WeatherConfig
@@ -173,6 +176,113 @@ class TestThreadSafety:
         assert market.ledger.total_price == pytest.approx(
             oracle.ledger.total_price
         )
+
+
+def _traced_payless(max_concurrent_calls: int, faulty: bool) -> PayLess:
+    transport = (
+        TransportConfig(
+            faults=FaultPolicy.uniform(seed=7, rate=0.3), max_retries=8
+        )
+        if faulty
+        else None
+    )
+    return registered_payless(
+        tiny_weather_market(days=30),
+        max_concurrent_calls=max_concurrent_calls,
+        transport=transport,
+        tracing=True,
+        metrics=MetricsRegistry(),
+    )
+
+
+def _fragmented_trace(payless: PayLess):
+    """Warm alternating Date stripes, then query the whole country.
+
+    The final query's remainder decomposes into the stored stripes'
+    complement — several REST calls inside ONE table access, exactly what
+    the fetch pool overlaps."""
+    for low in range(2, 30, 8):
+        payless.query(
+            "SELECT Temperature FROM Weather WHERE Country = 'CountryA' "
+            f"AND Date >= {low} AND Date <= {low + 1}"
+        )
+    result = payless.query(
+        "SELECT Temperature FROM Weather WHERE Country = 'CountryA'"
+    )
+    return result
+
+
+def _call_signature(result):
+    """Everything observable about the market_call spans, in adoption order."""
+    return [
+        (
+            span.attrs.get("url"),
+            span.attrs.get("rows"),
+            span.attrs.get("transactions"),
+            span.attrs.get("price"),
+            span.attrs.get("attempts"),
+            span.attrs.get("retries"),
+            span.attrs.get("replayed"),
+            span.attrs.get("failed"),
+        )
+        for span in result.trace.spans("market_call")
+    ]
+
+
+class TestTraceUnderConcurrency:
+    """Race-free span recording under the full fetch pool.
+
+    Worker threads create only *detached* spans (no shared state); the
+    coordinator adopts them in request order once the pool drains.  The
+    trace of a parallel run must therefore be structurally identical to
+    the serial run's — same call spans, same order, same money numbers —
+    and identical across repeated parallel runs, whatever the thread
+    scheduling.  Faults are drawn per call key, not per arrival, so the
+    invariant survives fault injection too.
+    """
+
+    @pytest.mark.parametrize("faulty", [False, True])
+    def test_parallel_trace_is_deterministic_and_matches_serial(self, faulty):
+        serial = _fragmented_trace(_traced_payless(1, faulty))
+        assert len(_call_signature(serial)) >= 2
+        for __ in range(5):  # stress: repeat under fresh thread pools
+            parallel = _fragmented_trace(_traced_payless(8, faulty))
+            assert _call_signature(parallel) == _call_signature(serial)
+
+    @pytest.mark.parametrize("faulty", [False, True])
+    def test_every_call_span_is_adopted_finished_and_attributed(self, faulty):
+        result = _fragmented_trace(_traced_payless(8, faulty))
+        trace = result.trace
+        calls = trace.spans("market_call")
+        assert calls
+        # Every market_call span hangs off exactly one table_fetch parent.
+        adopted = [
+            child
+            for fetch in trace.spans("table_fetch")
+            for child in fetch.children
+            if child.kind == "market_call"
+        ]
+        assert len(adopted) == len(calls)
+        for span in calls:
+            assert span.finished
+            assert span.attrs["attempts"] >= 1
+            assert span.attrs["transactions"] >= 0
+            assert span.attrs["rows"] >= 0
+        # Per fetch, the children's spent transactions sum to the parent's.
+        for fetch in trace.spans("table_fetch"):
+            children = [
+                c for c in fetch.children if c.kind == "market_call"
+            ]
+            if children:
+                assert sum(
+                    c.attrs["transactions"] for c in children
+                ) == fetch.attrs["transactions"]
+
+    def test_pool_high_water_mark_reaches_the_calls_in_flight(self):
+        payless = _traced_payless(8, faulty=False)
+        result = _fragmented_trace(payless)
+        high_water = result.stats.metrics.get("fetch_pool_high_water_max", 0)
+        assert 1 <= high_water <= 8
 
 
 class TestConfigValidation:

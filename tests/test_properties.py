@@ -15,6 +15,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import PayLess
+from repro.core.plans import JoinNode, MarketAccessNode
+from repro.obs.metrics import MetricsRegistry
 from repro.relational.database import Database
 from repro.relational.engine import evaluate
 from repro.relational.table import Table
@@ -165,3 +167,65 @@ def test_single_query_never_beats_direct_region_price(
             )
             direct += -(-rows // 10)  # ceil at t=10
     assert result.transactions <= direct
+
+
+def plan_market_accesses(plan):
+    """Every MarketAccessNode of a plan tree, in plan (execution) order."""
+    if isinstance(plan, MarketAccessNode):
+        return [plan]
+    if isinstance(plan, JoinNode):
+        return plan_market_accesses(plan.left) + plan_market_accesses(
+            plan.right
+        )
+    return []  # LocalBlockNode and friends have no market access children
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=weather_queries())
+def test_trace_spans_nest_and_account_for_the_whole_bill(
+    mini_weather_market, query
+):
+    """Structural trace invariants, on cold and warm issues of any query:
+
+    * spans nest — every child's interval lies within its parent's;
+    * every MarketAccessNode yields exactly one ``table_fetch`` span;
+    * the ``table_fetch`` spans' transactions sum to the query's bill.
+    """
+    sql, params = query
+    payless = PayLess.full(
+        mini_weather_market, tracing=True, metrics=MetricsRegistry()
+    )
+    payless.register_dataset("WHW")
+    for __ in range(2):  # cold issue, then a store-warm repeat
+        result = payless.query(sql, params)
+        trace = result.trace
+        assert trace is not None
+        assert trace.root.kind == "query"
+
+        for span in trace.spans():
+            assert span.finished, span
+            assert span.end_ms >= span.start_ms
+            for child in span.children:
+                assert child.start_ms >= span.start_ms
+                assert child.end_ms <= span.end_ms
+
+        accesses = plan_market_accesses(result.plan)
+        access_spans = [
+            span
+            for span in trace.spans("table_fetch")
+            if span.attrs.get("source") in ("access", "bound")
+        ]
+        assert len(access_spans) == len(accesses)
+        assert sorted(
+            span.attrs["table"].lower() for span in access_spans
+        ) == sorted(node.table.lower() for node in accesses)
+
+        total = sum(
+            span.attrs.get("transactions", 0)
+            for span in trace.spans("table_fetch")
+        )
+        assert total == result.stats.transactions
