@@ -1,0 +1,247 @@
+"""Local engine throughput: vectorized columnar operators vs the reference.
+
+As the semantic store warms up, repeat queries are answered mostly from
+cache and *local evaluation* becomes the dominant per-query cost (the
+regime the paper's Figure 3 steps 6-8 live in).  This bench measures the
+operator throughput of both engines on synthetic fact/dimension data at
+1k/10k/100k rows:
+
+* **filter**  — conjunctive predicate over two columns;
+* **join**    — fact ⋈ dimension equi-join (100:1 key fan-in);
+* **groupby** — GROUP BY category with COUNT(*)/SUM/AVG;
+* **composite** — join + aggregate (the gated end-to-end shape:
+  fact ⋈ dim, then GROUP BY dim attribute with SUM(price*discount)).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_local_engine.py [--smoke|--ci]
+
+Default mode writes ``benchmarks/results/local_engine.txt`` and appends a
+trajectory entry to ``BENCH_local.json`` at the repo root.  ``--ci`` runs
+the full sizes and the acceptance gate without touching the committed
+files; ``--smoke`` runs tiny sizes and skips the gate.  The gate fails
+the build unless the vectorized engine shows a >=3x speedup on the
+join+aggregate composite at 100k rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.relational import operators as vec  # noqa: E402
+from repro.relational import reference as ref  # noqa: E402
+from repro.relational.expressions import (  # noqa: E402
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    RowLayout,
+)
+from repro.relational.operators import Aggregate, Relation  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "local_engine.txt"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_local.json"
+
+SPEEDUP_GATE = 3.0  # composite at the largest size must beat this
+
+N_CATEGORIES = 50
+NULL_RATE = 0.01  # sprinkle NULLs so the skip-NULL paths are exercised
+
+
+def make_fact(n: int, seed: int) -> Relation:
+    rng = random.Random(seed)
+    key_high = max(1, n // 100)
+    rows = [
+        (
+            rng.randrange(key_high),
+            f"g{rng.randrange(N_CATEGORIES):02d}",
+            rng.randint(1, 50),
+            None if rng.random() < NULL_RATE else rng.random() * 1000.0,
+            rng.random() * 0.1,
+        )
+        for __ in range(n)
+    ]
+    layout = RowLayout(
+        [("fact", c) for c in ("key", "cat", "qty", "price", "disc")]
+    )
+    return Relation(layout, rows)
+
+
+def make_dim(n_fact: int, seed: int) -> Relation:
+    rng = random.Random(seed + 1)
+    key_high = max(1, n_fact // 100)
+    rows = [
+        (key, f"a{key % 10}", rng.random())
+        for key in range(key_high)
+    ]
+    layout = RowLayout([("dim", c) for c in ("key", "attr", "weight")])
+    return Relation(layout, rows)
+
+
+FILTER_PRED = And(
+    (
+        Comparison(">", ColumnRef("fact", "price"), Literal(250.0)),
+        Comparison("<", ColumnRef("fact", "qty"), Literal(40)),
+    )
+)
+JOIN_KEYS = [(ColumnRef("fact", "key"), ColumnRef("dim", "key"))]
+GROUP_AGGS = [
+    Aggregate("COUNT", None, "n"),
+    Aggregate("SUM", ColumnRef("fact", "price"), "revenue"),
+    Aggregate("AVG", ColumnRef("fact", "qty"), "avg_qty"),
+]
+COMPOSITE_AGGS = [
+    Aggregate(
+        "SUM",
+        Arithmetic(
+            "*", ColumnRef("fact", "price"), ColumnRef("fact", "disc")
+        ),
+        "discounted",
+    ),
+    Aggregate("COUNT", None, "n"),
+]
+
+
+def workloads(fact: Relation, dim: Relation):
+    """name -> thunk evaluating one operator pipeline on a given ops module."""
+    return {
+        "filter": lambda ops: ops.filter_rows(fact, FILTER_PRED),
+        "join": lambda ops: ops.hash_join(fact, dim, JOIN_KEYS),
+        "groupby": lambda ops: ops.aggregate_rows(
+            fact, [ColumnRef("fact", "cat")], GROUP_AGGS
+        ),
+        "composite": lambda ops: ops.aggregate_rows(
+            ops.hash_join(fact, dim, JOIN_KEYS),
+            [ColumnRef("dim", "attr")],
+            COMPOSITE_AGGS,
+        ),
+    }
+
+
+def time_workload(thunk, ops, reps: int) -> float:
+    """Total milliseconds for ``reps`` evaluations (one warmup first)."""
+    thunk(ops)  # warmup: codegen + caches, same as steady-state usage
+    start = time.perf_counter()
+    for __ in range(reps):
+        thunk(ops)
+    return (time.perf_counter() - start) * 1000.0
+
+
+def run(sizes, rep_budget: int) -> list[dict]:
+    results = []
+    for n in sizes:
+        fact = make_fact(n, seed=n)
+        dim = make_dim(n, seed=n)
+        reps = max(1, rep_budget // n)
+        row = {"rows": n, "reps": reps}
+        for name, thunk in workloads(fact, dim).items():
+            # Parity check before timing anything: same rows, same order.
+            assert thunk(vec).rows == thunk(ref).rows, (
+                f"engines disagree on {name} at n={n}"
+            )
+            ref_ms = time_workload(thunk, ref, reps)
+            vec_ms = time_workload(thunk, vec, reps)
+            row[f"{name}_ref_ms"] = ref_ms
+            row[f"{name}_vec_ms"] = vec_ms
+            row[f"{name}_speedup"] = (
+                ref_ms / vec_ms if vec_ms > 0 else float("inf")
+            )
+            row[f"{name}_vec_rows_per_sec"] = (
+                n * reps / (vec_ms / 1000.0) if vec_ms > 0 else float("inf")
+            )
+        results.append(row)
+    return results
+
+
+def render(results) -> str:
+    lines = [
+        "local_engine: vectorized columnar operators vs row-at-a-time reference",
+        "(times are totals in ms over `reps` evaluations; speedup = ref/vec;",
+        " composite = fact ⋈ dim then GROUP BY with SUM(price*disc))",
+        "",
+        f"{'rows':>7} {'reps':>4} | "
+        + " | ".join(
+            f"{name + ' ref':>12} {'vec':>9} {'speedup':>8}"
+            for name in ("filter", "join", "groupby", "composite")
+        ),
+    ]
+    for row in results:
+        cells = " | ".join(
+            f"{row[f'{name}_ref_ms']:>12.2f} {row[f'{name}_vec_ms']:>9.2f} "
+            f"{row[f'{name}_speedup']:>7.1f}x"
+            for name in ("filter", "join", "groupby", "composite")
+        )
+        lines.append(f"{row['rows']:>7} {row['reps']:>4} | {cells}")
+    peak = results[-1]
+    lines.append("")
+    lines.append(
+        f"vectorized throughput at {peak['rows']} rows: "
+        + ", ".join(
+            f"{name} {peak[f'{name}_vec_rows_per_sec']:,.0f} rows/sec"
+            for name in ("filter", "join", "groupby", "composite")
+        )
+    )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for a quick check; no gate, no result files",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="full sizes + the >=3x acceptance gate, but no result files",
+    )
+    args = parser.parse_args()
+
+    sizes = (1_000, 5_000) if args.smoke else (1_000, 10_000, 100_000)
+    rep_budget = 20_000 if args.smoke else 400_000
+    results = run(sizes, rep_budget)
+    text = render(results)
+    print(text)
+
+    if not args.smoke:
+        gated = results[-1]
+        ok = gated["composite_speedup"] >= SPEEDUP_GATE
+        print(
+            f"\n{gated['rows']}-row composite acceptance "
+            f"(>={SPEEDUP_GATE:g}x): "
+            f"{gated['composite_speedup']:.1f}x — {'PASS' if ok else 'FAIL'}"
+        )
+        if not ok:
+            return 1
+
+    if not args.smoke and not args.ci:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(text + "\n")
+        print(f"[written to {RESULTS_PATH}]")
+        trajectory = []
+        if TRAJECTORY_PATH.exists():
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        trajectory.append(
+            {
+                "bench": "local_engine",
+                "gate": SPEEDUP_GATE,
+                "results": results,
+            }
+        )
+        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(f"[trajectory appended to {TRAJECTORY_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

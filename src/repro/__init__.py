@@ -39,6 +39,7 @@ from repro.market.pricing import PricingPolicy
 from repro.market.server import DataMarket
 from repro.market.transport import TransportConfig
 from repro.relational.database import Database
+from repro.relational.engine import ExecutionConfig
 from repro.relational.schema import Attribute, Domain, Schema
 from repro.relational.table import Table
 from repro.relational.types import AttributeType
@@ -58,6 +59,7 @@ __all__ = [
     "Dataset",
     "Domain",
     "DownloadAllStrategy",
+    "ExecutionConfig",
     "ExecutionError",
     "Explanation",
     "FaultPolicy",

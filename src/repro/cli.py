@@ -75,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the session's metrics snapshot (memo hit rate, store "
         "coverage, fetch-pool high-water mark, spent vs wasted cents)",
     )
+    session.add_argument(
+        "--engine", choices=["vectorized", "reference"], default="vectorized",
+        help="local-evaluation engine: vectorized (columnar batches + "
+        "compiled kernels) or reference (the row-at-a-time oracle)",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
@@ -89,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--trace-json", action="store_true",
         help="also dump the query's span tree as JSON (implies --analyze)",
+    )
+    explain.add_argument(
+        "--engine", choices=["vectorized", "reference"], default="vectorized",
+        help="local-evaluation engine used when executing under --analyze "
+        "(EXPLAIN ANALYZE reports which engine ran and its rows/sec)",
     )
     explain.add_argument(
         "sql",
@@ -141,7 +151,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"(download-all bound: {download_all_bound(data)} transactions)"
     )
     session = run_session(
-        args.system, data, instances, transport=_session_transport(args)
+        args.system,
+        data,
+        instances,
+        transport=_session_transport(args),
+        engine=args.engine,
     )
     print()
     print(
@@ -183,7 +197,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     elif upper.startswith("EXPLAIN "):
         sql = sql[len("EXPLAIN "):].strip()
     data = make_workload(args.workload)
-    payless, __ = build_system("payless", data)
+    payless, __ = build_system("payless", data, engine=args.engine)
     explanation = (
         payless.explain_analyze(sql) if analyze else payless.explain(sql)
     )

@@ -18,6 +18,7 @@ from repro.market.transport import MarketTransport, TransportConfig
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.relational.database import Database
+from repro.relational.engine import DEFAULT_EXECUTION, ExecutionConfig
 from repro.relational.schema import Schema
 from repro.relational.table import Table
 from repro.semstore.store import SemanticStore
@@ -66,6 +67,7 @@ class PlanningContext:
         transport: TransportConfig | MarketTransport | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        execution: ExecutionConfig | None = None,
     ):
         self.market = market
         self.catalog = catalog
@@ -79,6 +81,9 @@ class PlanningContext:
         #: reports into the same trace/registry.
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else REGISTRY
+        #: Which local-evaluation engine runs the final joins/aggregates
+        #: (see :class:`repro.relational.engine.ExecutionConfig`).
+        self.execution = execution if execution is not None else DEFAULT_EXECUTION
         self.rewriter.tracer = self.tracer
         self.rewriter.metrics = self.metrics
         #: The money-safe transport every executor call goes through (see

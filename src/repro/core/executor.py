@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -51,9 +52,9 @@ from repro.errors import (
 )
 from repro.market.rest import RestRequest
 from repro.relational.database import Database
-from repro.relational.engine import evaluate
-from repro.relational.expressions import ColumnRef, RowLayout, conjunction
-from repro.relational.operators import Relation, filter_rows, hash_join, scan
+from repro.relational.engine import DEFAULT_EXECUTION, evaluate
+from repro.relational.expressions import Comparison, ColumnRef, RowLayout, conjunction
+from repro.relational.relation import Relation
 from repro.relational.query import AttributeConstraint, LogicalQuery
 from repro.relational.table import Table
 
@@ -127,8 +128,9 @@ class _Fetched:
     out the bindings, since a cross product with an empty side is empty).
     """
 
-    def __init__(self, components: list[Relation]):
+    def __init__(self, components: list[Relation], ops=None):
         self.components = components
+        self.ops = ops if ops is not None else DEFAULT_EXECUTION.ops
 
     @property
     def any_empty(self) -> bool:
@@ -161,19 +163,16 @@ class _Fetched:
             left_table, right_table = predicate.tables()
             left_ref = predicate.side_for(left_table)
             right_ref = predicate.side_for(right_table)
-            fetched = _Fetched(components)
+            fetched = _Fetched(components, self.ops)
             left_index = fetched._component_of(left_ref)
             right_index = fetched._component_of(right_ref)
             if left_index == right_index:
-                from repro.relational.expressions import Comparison
-                from repro.relational.operators import filter_rows
-
-                components[left_index] = filter_rows(
+                components[left_index] = self.ops.filter_rows(
                     components[left_index],
                     Comparison("=", left_ref, right_ref),
                 )
                 continue
-            joined = hash_join(
+            joined = self.ops.hash_join(
                 components[left_index],
                 components[right_index],
                 [(left_ref, right_ref)],
@@ -184,7 +183,7 @@ class _Fetched:
                 if index not in (left_index, right_index)
             ]
             components = [joined] + keep
-        return _Fetched(components)
+        return _Fetched(components, self.ops)
 
 
 class Executor:
@@ -201,6 +200,8 @@ class Executor:
         max_concurrent_calls: int | None = None,
     ):
         self.context = context
+        self.execution = context.execution
+        self._ops = self.execution.ops
         self.max_concurrent_calls = (
             max_concurrent_calls
             if max_concurrent_calls is not None
@@ -227,12 +228,27 @@ class Executor:
         staging = self._build_staging(query)
         tracer = self.context.tracer
         if tracer.enabled:
+            input_rows = sum(
+                len(staging.table(name)) for name in query.tables
+            )
             with tracer.span("local_eval") as eval_span:
-                relation = evaluate(staging, query)
+                started = time.perf_counter()
+                relation = evaluate(staging, query, self.execution)
+                eval_ms = (time.perf_counter() - started) * 1000.0
                 if eval_span is not None:
-                    eval_span.set(output_rows=len(relation.rows))
+                    eval_span.set(
+                        engine=self.execution.engine,
+                        input_rows=input_rows,
+                        output_rows=len(relation.rows),
+                        eval_ms=eval_ms,
+                        rows_per_sec=(
+                            input_rows / (eval_ms / 1000.0)
+                            if eval_ms > 0.0
+                            else 0.0
+                        ),
+                    )
         else:
-            relation = evaluate(staging, query)
+            relation = evaluate(staging, query, self.execution)
 
         scope = self._scope
         return ExecutionResult(
@@ -258,7 +274,7 @@ class Executor:
             return self._fetch_block(node)
         if isinstance(node, MarketAccessNode):
             relation = self._fetch_market(node.table, (), source="access")
-            return _Fetched([relation])
+            return _Fetched([relation], self._ops)
         if isinstance(node, JoinNode):
             left = self._fetch(node.left)
             if isinstance(node.right, MarketAccessNode) and node.bind:
@@ -267,7 +283,7 @@ class Executor:
                 ]
             else:
                 right_components = self._fetch(node.right).components
-            combined = _Fetched(left.components + right_components)
+            combined = _Fetched(left.components + right_components, self._ops)
             if node.predicates:
                 combined = combined.apply_joins(node.predicates)
             return combined
@@ -305,7 +321,7 @@ class Executor:
                 and j.tables()[1].lower() in block_tables
             ],
         )
-        return _Fetched([evaluate(block_db, sub_query)])
+        return _Fetched([evaluate(block_db, sub_query, self.execution)], self._ops)
 
     def _fetch_bound(
         self,
@@ -447,17 +463,20 @@ class Executor:
                 )
             self._failed_fetches.extend(failed)
 
-        rows = self.context.store.rows_in_boxes(table, rewrite.request_boxes)
+        columns, row_count = self.context.store.columns_in_boxes(
+            table, rewrite.request_boxes
+        )
         if span is not None:
-            span.set(cache_served_rows=max(0, len(rows) - purchased_rows))
-        relation = Relation(
+            span.set(cache_served_rows=max(0, row_count - purchased_rows))
+        relation = Relation.from_columns(
             RowLayout.for_table(table, self.context.schema_of(table).names),
-            rows,
+            columns,
+            row_count,
         )
         predicates = [c.to_expression(table) for c in constraints]
         predicates.extend(self._query.residuals_for(table))
         if predicates:
-            relation = filter_rows(relation, conjunction(predicates))
+            relation = self._ops.filter_rows(relation, conjunction(predicates))
         staged = self._staged.setdefault(table.lower(), [])
         seen = set(staged)
         for row in relation.rows:

@@ -39,6 +39,7 @@ from repro.obs.explain import render_explain, render_explain_analyze
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import QueryTrace, Tracer
 from repro.relational.database import Database
+from repro.relational.engine import DEFAULT_EXECUTION, ExecutionConfig
 from repro.relational.operators import Relation
 from repro.relational.query import LogicalQuery
 from repro.relational.table import Table
@@ -257,6 +258,7 @@ class PayLess:
         transport: TransportConfig | None = None,
         tracing: bool = False,
         metrics: MetricsRegistry | None = None,
+        engine: str | None = None,
     ):
         self.market = market
         self.options = options or OptimizerOptions()
@@ -269,6 +271,12 @@ class PayLess:
         #: (the process-wide default unless a private one is handed in).
         self.tracer = Tracer(enabled=tracing)
         self.metrics = metrics if metrics is not None else REGISTRY
+        #: Which local-evaluation engine answers queries once the data is
+        #: staged: "vectorized" (columnar batches + compiled kernels, the
+        #: default) or "reference" (the row-at-a-time differential oracle).
+        self.execution = (
+            ExecutionConfig(engine=engine) if engine else DEFAULT_EXECUTION
+        )
         #: Which updatable statistic drives estimation ("isomer",
         #: "independence", or "uniform"; see repro.stats.interface).
         self.statistic = statistic
@@ -291,6 +299,7 @@ class PayLess:
             transport=self.transport_config,
             tracer=self.tracer,
             metrics=self.metrics,
+            execution=self.execution,
         )
         for table in self.local_db:
             self.context.register_local(table)

@@ -219,6 +219,17 @@ def render_explain_analyze(
     """The EXPLAIN ANALYZE rendering: the plan annotated with actuals."""
     lines = [f"EXPLAIN ANALYZE {label}" if label else "EXPLAIN ANALYZE"]
     _render_node(planning.plan, 0, lines, _FetchSpans(trace))
+    eval_span = trace.find("local_eval") if trace is not None else None
+    if eval_span is not None:
+        attrs = eval_span.attrs
+        rate = attrs.get("rows_per_sec", 0.0)
+        lines.append(
+            f"local eval: engine={attrs.get('engine', '?')}, "
+            f"{attrs.get('input_rows', 0)} rows in → "
+            f"{attrs.get('output_rows', 0)} rows out, "
+            f"{attrs.get('eval_ms', 0.0):.2f} ms "
+            f"({rate:,.0f} rows/sec)"
+        )
     lines.append(
         f"estimated: {_fmt(planning.cost)} transactions; "
         f"actual: {stats.transactions} transactions, "

@@ -1,7 +1,12 @@
 """In-memory relational substrate: the buyer-side local DBMS."""
 
 from repro.relational.database import Database
-from repro.relational.engine import evaluate, row_count
+from repro.relational.engine import (
+    DEFAULT_EXECUTION,
+    ExecutionConfig,
+    evaluate,
+    row_count,
+)
 from repro.relational.expressions import (
     And,
     ColumnRef,
@@ -45,8 +50,10 @@ __all__ = [
     "AttributeType",
     "ColumnRef",
     "Comparison",
+    "DEFAULT_EXECUTION",
     "Database",
     "Domain",
+    "ExecutionConfig",
     "Expression",
     "InList",
     "JoinPredicate",

@@ -2,39 +2,70 @@
 
 This is the "DBMS query engine" box of the paper's architecture (Figure 3):
 once PayLess has materialized all required data-market rows locally, the
-final join/aggregate work happens here.  It is deliberately simple — scan,
-filter, hash-join in join-graph order, then aggregate/sort/limit — because
-local execution costs no money and is not what the paper optimizes.
+final join/aggregate work happens here.  The *plan* is deliberately simple —
+scan, filter, hash-join in join-graph order, then aggregate/sort/limit —
+but two interchangeable operator implementations can execute it:
+
+* ``"vectorized"`` (the default): columnar batches + compiled expression
+  kernels (:mod:`repro.relational.operators`);
+* ``"reference"``: the original row-at-a-time interpreter
+  (:mod:`repro.relational.reference`), kept as a differential test oracle.
+
+Both produce identical results, row order included; pick one with
+:class:`ExecutionConfig` (threaded through ``PlanningContext``/``PayLess``,
+or ``--engine`` on the CLI).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ExecutionError
+from repro.relational import operators as _vectorized
+from repro.relational import reference as _reference
 from repro.relational.database import Database
 from repro.relational.expressions import ColumnRef, conjunction
-from repro.relational.operators import (
-    Relation,
-    aggregate_rows,
-    cross_product,
-    distinct,
-    filter_rows,
-    hash_join,
-    limit as limit_rows,
-    project,
-    scan,
-    sort,
-)
+from repro.relational.operators import Relation
 from repro.relational.query import LogicalQuery
 
+#: engine name -> operator module (same function-level API in each).
+_ENGINES = {
+    "vectorized": _vectorized,
+    "reference": _reference,
+}
 
-def _scan_with_selection(database: Database, query: LogicalQuery, name: str) -> Relation:
-    relation = scan(database.table(name), alias=name)
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How local evaluation runs; ``engine`` selects the operator set."""
+
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ExecutionError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{sorted(_ENGINES)}"
+            )
+
+    @property
+    def ops(self):
+        """The operator module implementing this engine."""
+        return _ENGINES[self.engine]
+
+
+DEFAULT_EXECUTION = ExecutionConfig()
+
+
+def _scan_with_selection(
+    database: Database, query: LogicalQuery, name: str, ops
+) -> Relation:
+    relation = ops.scan(database.table(name), alias=name)
     predicates = [c.to_expression(name) for c in query.constraints_for(name)]
     predicates.extend(query.residuals_for(name))
     if predicates:
-        relation = filter_rows(relation, conjunction(predicates))
+        relation = ops.filter_rows(relation, conjunction(predicates))
     return relation
 
 
@@ -57,16 +88,21 @@ def _join_order(query: LogicalQuery) -> list[str]:
     return ordered
 
 
-def evaluate(database: Database, query: LogicalQuery) -> Relation:
+def evaluate(
+    database: Database,
+    query: LogicalQuery,
+    execution: ExecutionConfig | None = None,
+) -> Relation:
     """Evaluate ``query`` against ``database`` and return the result relation."""
     if not query.tables:
         raise ExecutionError("query references no tables")
+    ops = (execution or DEFAULT_EXECUTION).ops
 
     ordered = _join_order(query)
-    result = _scan_with_selection(database, query, ordered[0])
+    result = _scan_with_selection(database, query, ordered[0], ops)
     joined = [ordered[0]]
     for name in ordered[1:]:
-        right = _scan_with_selection(database, query, name)
+        right = _scan_with_selection(database, query, name, ops)
         join_predicates = query.joins_between(joined, name)
         if join_predicates:
             keys = []
@@ -74,29 +110,33 @@ def evaluate(database: Database, query: LogicalQuery) -> Relation:
                 right_ref = join.side_for(name)
                 left_ref = join.other_side(name)
                 keys.append((left_ref, right_ref))
-            result = hash_join(result, right, keys)
+            result = ops.hash_join(result, right, keys)
         else:
-            result = cross_product(result, right)
+            result = ops.cross_product(result, right)
         joined.append(name)
 
     if query.has_aggregates:
-        result = aggregate_rows(result, query.group_by, query.aggregates)
+        result = ops.aggregate_rows(result, query.group_by, query.aggregates)
         if query.having is not None:
-            result = filter_rows(result, query.having)
+            result = ops.filter_rows(result, query.having)
     elif query.group_by:
-        result = distinct(project(result, query.group_by))
+        result = ops.distinct(ops.project(result, query.group_by))
     elif not query.is_star:
-        result = project(result, [out.column for out in query.outputs])
+        result = ops.project(result, [out.column for out in query.outputs])
 
     if query.select_distinct:
-        result = distinct(result)
+        result = ops.distinct(result)
     if query.order_by:
-        result = sort(result, query.order_by, query.order_descending or None)
+        result = ops.sort(result, query.order_by, query.order_descending or None)
     if query.limit is not None:
-        result = limit_rows(result, query.limit)
+        result = ops.limit(result, query.limit)
     return result
 
 
-def row_count(database: Database, query: LogicalQuery) -> int:
+def row_count(
+    database: Database,
+    query: LogicalQuery,
+    execution: ExecutionConfig | None = None,
+) -> int:
     """Number of rows ``query`` yields — convenience for tests/validation."""
-    return len(evaluate(database, query))
+    return len(evaluate(database, query, execution))

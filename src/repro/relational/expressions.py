@@ -4,7 +4,21 @@ Expressions are built by the SQL analyzer (or directly by library users) and
 *bound* against a :class:`RowLayout` — a mapping from possibly-qualified
 column references to row positions — which compiles them into plain Python
 callables.  Binding once and evaluating many times keeps the inner loops of
-the operators cheap.
+the operators cheap.  (The vectorized engine goes one step further and
+compiles the whole tree into a single code object — see
+:mod:`repro.relational.compile`; the semantics here are the reference.)
+
+NULL semantics: SQL's ``NULL`` is represented as Python ``None``.  Both
+engines use the same deterministic two-valued collapse of SQL's
+three-valued logic:
+
+* a :class:`Comparison` or :class:`InList` with a NULL operand evaluates
+  to ``False`` (SQL's UNKNOWN, collapsed at the comparison);
+* :class:`Arithmetic` propagates NULL (``x + NULL`` is NULL);
+* ``AND`` / ``OR`` / ``NOT`` are ordinary boolean connectives over the
+  collapsed leaves (so ``NOT (x = 5)`` is ``True`` for NULL ``x`` — a
+  documented deviation from full three-valued logic, shared bit-for-bit
+  by both engines and asserted by the parity suite).
 """
 
 from __future__ import annotations
@@ -146,7 +160,17 @@ class Arithmetic(Expression):
         combine = _ARITHMETIC[self.op]
         left = self.left.bind(layout)
         right = self.right.bind(layout)
-        return lambda row: combine(left(row), right(row))
+
+        def evaluate(row: Row) -> Any:
+            a = left(row)
+            if a is None:
+                return None
+            b = right(row)
+            if b is None:
+                return None
+            return combine(a, b)
+
+        return evaluate
 
     def columns(self) -> list["ColumnRef"]:
         return self.left.columns() + self.right.columns()
@@ -181,7 +205,17 @@ class Comparison(Expression):
         compare = _COMPARISONS[self.op]
         left = self.left.bind(layout)
         right = self.right.bind(layout)
-        return lambda row: compare(left(row), right(row))
+
+        def evaluate(row: Row) -> bool:
+            a = left(row)
+            if a is None:
+                return False
+            b = right(row)
+            if b is None:
+                return False
+            return compare(a, b)
+
+        return evaluate
 
     def columns(self) -> list[ColumnRef]:
         return self.left.columns() + self.right.columns()
@@ -251,7 +285,7 @@ class InList(Expression):
     def bind(self, layout: RowLayout) -> RowPredicate:
         bound = self.operand.bind(layout)
         values = self.values
-        return lambda row: bound(row) in values
+        return lambda row: (value := bound(row)) is not None and value in values
 
     def columns(self) -> list[ColumnRef]:
         return self.operand.columns()

@@ -25,6 +25,7 @@ class Table:
         self.name = name
         self.schema = schema
         self._rows: list[Row] = []
+        self._columns_cache: tuple[int, tuple[tuple[Any, ...], ...]] | None = None
         self.extend(rows)
 
     def __len__(self) -> int:
@@ -56,6 +57,23 @@ class Table:
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
         for row in rows:
             self.append(row)
+
+    def columns_snapshot(self) -> tuple[tuple[Any, ...], ...]:
+        """One tuple per attribute, transposed from the rows.
+
+        Tables are append-only, so the snapshot is cached keyed on the row
+        count: repeated scans of an unchanged table are zero-copy.
+        """
+        count = len(self._rows)
+        cache = self._columns_cache
+        if cache is None or cache[0] != count:
+            if self._rows:
+                columns = tuple(zip(*self._rows))
+            else:
+                columns = tuple(() for __ in self.schema.names)
+            cache = (count, columns)
+            self._columns_cache = cache
+        return cache[1]
 
     def column(self, name: str) -> list[Any]:
         """All values of attribute ``name`` in row order."""

@@ -25,7 +25,7 @@ the rewriter keys its memoization on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.relational.schema import Schema
@@ -277,6 +277,20 @@ class TableStore:
                 selected.append(row)
         return selected
 
+    def columns_in_boxes(
+        self, boxes: Sequence[Box]
+    ) -> tuple[tuple[tuple[Any, ...], ...], int]:
+        """Rows inside the union of ``boxes``, assembled column-wise.
+
+        Returns ``(columns, count)`` — one tuple per schema attribute —
+        so the vectorized engine can build a columnar relation without an
+        intermediate row-tuple materialization pass.
+        """
+        rows = self.rows_in_boxes(boxes)
+        if not rows:
+            return tuple(() for __ in self.schema.names), 0
+        return tuple(zip(*rows)), len(rows)
+
     def count_in_box(self, box: Box) -> int:
         """Exact number of cached rows inside ``box``."""
         return len(self.rows_in_box(box))
@@ -342,3 +356,8 @@ class SemanticStore:
 
     def rows_in_boxes(self, table: str, boxes: Sequence[Box]) -> list[Row]:
         return self.table(table).rows_in_boxes(boxes)
+
+    def columns_in_boxes(
+        self, table: str, boxes: Sequence[Box]
+    ) -> tuple[tuple[tuple[Any, ...], ...], int]:
+        return self.table(table).columns_in_boxes(boxes)

@@ -16,7 +16,7 @@ from repro.market.dataset import Dataset
 from repro.market.pricing import PricingPolicy
 from repro.market.server import DataMarket
 from repro.relational.database import Database
-from repro.relational.engine import evaluate
+from repro.relational.engine import ExecutionConfig, evaluate
 from repro.relational.operators import Relation
 from repro.relational.schema import Attribute, Domain, Schema
 from repro.relational.table import Table
@@ -95,7 +95,9 @@ def oracle_evaluate(
     """Evaluate ``sql`` over full local copies of every market table.
 
     The ground truth PayLess's answers must match, whatever plan it chose
-    and whatever the semantic store held.
+    and whatever the semantic store held.  Runs on the row-at-a-time
+    reference engine, so it is also an independent check of the
+    vectorized operators PayLess executes with by default.
     """
     logical = payless.compile(sql, params)
     database = Database()
@@ -107,7 +109,7 @@ def oracle_evaluate(
             database.add(clone)
         else:
             database.add(payless.local_db.table(name))
-    return evaluate(database, logical)
+    return evaluate(database, logical, ExecutionConfig(engine="reference"))
 
 
 def assert_matches_oracle(

@@ -3,6 +3,7 @@ plus the golden-file machinery for the EXPLAIN rendering tests."""
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
@@ -32,17 +33,34 @@ def pytest_addoption(parser):
     )
 
 
+#: Wall-clock measurements in renderings (the EXPLAIN ANALYZE local-eval
+#: line) are nondeterministic; the golden fixture scrubs them to fixed
+#: placeholders before comparing *and* before writing.
+_TIMING_SCRUBS = (
+    (re.compile(r"\d+(?:\.\d+)? ms"), "<ms> ms"),
+    (re.compile(r"[\d,]+(?:\.\d+)? rows/sec"), "<rate> rows/sec"),
+)
+
+
+def _scrub_timings(text: str) -> str:
+    for pattern, placeholder in _TIMING_SCRUBS:
+        text = pattern.sub(placeholder, text)
+    return text
+
+
 @pytest.fixture
 def golden(request):
     """Compare a rendered string against ``tests/goldens/<name>.txt``.
 
     ``pytest --update-goldens`` rewrites the files instead of comparing,
     which is how a rendering change gets reviewed: the golden diff IS the
-    review artifact.
+    review artifact.  Timing numbers are scrubbed on both sides so the
+    goldens stay deterministic.
     """
     update = request.config.getoption("--update-goldens")
 
     def check(name: str, actual: str) -> None:
+        actual = _scrub_timings(actual)
         path = GOLDENS_DIR / f"{name}.txt"
         if update:
             GOLDENS_DIR.mkdir(exist_ok=True)
