@@ -26,7 +26,7 @@ def test_plan_space_formulas(benchmark, report):
         return [
             [
                 n,
-                plan_space_baseline(n, tightened=False),
+                plan_space_baseline(n, tightened=False, enumerated=False),
                 plan_space_baseline(n),
                 plan_space_payless(n),
                 plan_space_payless(n, zero_price=2),
@@ -43,9 +43,9 @@ def test_plan_space_formulas(benchmark, report):
             [
                 "n",
                 "bushy (≈6^n−5^n)",
-                "bushy tightened",
-                "PayLess",
-                "PayLess (m=2 free)",
+                "bushy exact",
+                "PayLess exact",
+                "PayLess exact (m=2 free)",
             ],
         ),
     )

@@ -80,6 +80,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="local-evaluation engine: vectorized (columnar batches + "
         "compiled kernels) or reference (the row-at-a-time oracle)",
     )
+    session.add_argument(
+        "--no-prune", action="store_true",
+        help="disable branch-and-bound planner pruning (the exhaustive "
+        "enumeration oracle; chosen plans are identical, planning is "
+        "slower)",
+    )
+    session.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the parameterized plan cache (every query re-plans "
+        "from scratch)",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
@@ -99,6 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["vectorized", "reference"], default="vectorized",
         help="local-evaluation engine used when executing under --analyze "
         "(EXPLAIN ANALYZE reports which engine ran and its rows/sec)",
+    )
+    explain.add_argument(
+        "--no-prune", action="store_true",
+        help="plan with branch-and-bound pruning disabled (the exhaustive "
+        "oracle — same plan, full candidate counts in the summary line)",
     )
     explain.add_argument(
         "sql",
@@ -156,6 +172,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
         instances,
         transport=_session_transport(args),
         engine=args.engine,
+        prune=not args.no_prune,
+        plan_cache_size=0 if args.no_plan_cache else None,
     )
     print()
     print(
@@ -197,7 +215,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     elif upper.startswith("EXPLAIN "):
         sql = sql[len("EXPLAIN "):].strip()
     data = make_workload(args.workload)
-    payless, __ = build_system("payless", data, engine=args.engine)
+    payless, __ = build_system(
+        "payless", data, engine=args.engine, prune=not args.no_prune
+    )
     explanation = (
         payless.explain_analyze(sql) if analyze else payless.explain(sql)
     )

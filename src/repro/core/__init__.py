@@ -26,6 +26,7 @@ from repro.core.optimizer import (
 )
 from repro.core.organization import Organization, UserSession
 from repro.core.payless import PayLess, QueryResult
+from repro.core.plancache import CacheEntry, PlanCache
 from repro.core.prepared import PreparedQuery
 from repro.core.persistence import load_state, save_state
 from repro.core.plans import (
@@ -65,10 +66,12 @@ __all__ = [
     "LocalScanNode",
     "LocalTableInfo",
     "MarketAccessNode",
+    "CacheEntry",
     "Optimizer",
     "Organization",
     "OptimizerOptions",
     "PayLess",
+    "PlanCache",
     "PlanNode",
     "PlanningContext",
     "PlanningResult",

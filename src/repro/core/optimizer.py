@@ -26,6 +26,7 @@ formulas of Section 4.1.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from itertools import combinations
 
@@ -55,10 +56,42 @@ class OptimizerOptions:
     objective: str = "transactions"
     #: Bind joins may bind values for at most this many attributes.
     max_bind_attrs: int = 2
+    #: Branch-and-bound + dominance pruning of the DP enumeration.  False
+    #: runs the exhaustive oracle (same chosen plan, more work) — the
+    #: debug arm the parity tests compare against.
+    prune: bool = True
+    #: Entries the installation's parameterized plan cache may hold;
+    #: 0 disables the cache entirely.
+    plan_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.objective not in ("transactions", "calls"):
             raise PlanningError(f"unknown objective {self.objective!r}")
+        if not isinstance(self.prune, bool):
+            raise PlanningError(
+                f"prune must be True or False, got {self.prune!r}"
+            )
+        if isinstance(self.max_bind_attrs, bool) or not isinstance(
+            self.max_bind_attrs, int
+        ):
+            raise PlanningError(
+                f"max_bind_attrs must be an integer, got {self.max_bind_attrs!r}"
+            )
+        if self.max_bind_attrs < 0:
+            raise PlanningError(
+                f"max_bind_attrs cannot be negative, got {self.max_bind_attrs}"
+            )
+        if isinstance(self.plan_cache_size, bool) or not isinstance(
+            self.plan_cache_size, int
+        ):
+            raise PlanningError(
+                f"plan_cache_size must be an integer, got {self.plan_cache_size!r}"
+            )
+        if self.plan_cache_size < 0:
+            raise PlanningError(
+                f"plan_cache_size must be >= 0 (0 disables the cache), "
+                f"got {self.plan_cache_size}"
+            )
 
 
 @dataclass
@@ -70,6 +103,22 @@ class PlanningResult:
     evaluated_plans: int
     enumerated_boxes: int
     kept_boxes: int
+    #: Candidates discarded by branch-and-bound / dominance (0 when the
+    #: exhaustive oracle ran).
+    pruned_plans: int = 0
+    #: How the installation's plan cache was involved: "hit" (this result
+    #: was served from the cache), "miss" (planned fresh, now cached), or
+    #: "off" (cache disabled, or the optimizer was invoked directly).
+    cache_status: str = "off"
+
+    @property
+    def from_cache(self) -> bool:
+        return self.cache_status == "hit"
+
+    @property
+    def kept_plans(self) -> int:
+        """Candidates that survived pruning (all of them for the oracle)."""
+        return self.evaluated_plans - self.pruned_plans
 
 
 @dataclass
@@ -92,23 +141,53 @@ class Optimizer:
     def optimize(self, query: LogicalQuery) -> PlanningResult:
         tracer = self.context.tracer
         self._tracing = tracer.enabled
+        started = time.perf_counter()
         if not self._tracing:
-            return self._optimize(query)
-        with tracer.span("plan") as span:
             result = self._optimize(query)
-            span.set(
-                evaluated_plans=result.evaluated_plans,
-                cost=result.cost,
-                enumerated_boxes=result.enumerated_boxes,
-                kept_boxes=result.kept_boxes,
-            )
-            return result
+        else:
+            with tracer.span("plan") as span:
+                result = self._optimize(query)
+                span.set(
+                    evaluated_plans=result.evaluated_plans,
+                    pruned_plans=result.pruned_plans,
+                    cost=result.cost,
+                    enumerated_boxes=result.enumerated_boxes,
+                    kept_boxes=result.kept_boxes,
+                )
+        metrics = self.context.metrics
+        metrics.counter("plan_candidates").inc(result.evaluated_plans)
+        if result.pruned_plans:
+            metrics.counter("plan_candidates_pruned").inc(result.pruned_plans)
+        metrics.histogram("planning_us").observe(
+            (time.perf_counter() - started) * 1e6
+        )
+        return result
 
     def _optimize(self, query: LogicalQuery) -> PlanningResult:
         self._query = query
         self._evaluated = 0
+        self._pruned = 0
         self._enumerated_boxes = 0
         self._kept_boxes = 0
+        # Branch-and-bound state: ``_upper_bound`` is the cost of the best
+        # *complete* plan known so far (seeded by the greedy left-deep plan,
+        # tightened whenever the full key improves).  Only the left-deep DP
+        # prunes; the bushy debug arm stays exhaustive.
+        self._prune = self.options.prune and self.options.use_theorems
+        self._upper_bound = math.inf
+        self._full_key: frozenset[str] | None = None
+        # Per-optimize() probe memos.  Safe because planning never mutates
+        # the store or catalog: every probe is a pure function of the query
+        # and the store state at planning time.  (The rewriter's own
+        # epoch-keyed memo still guards reuse *across* queries.)
+        self._memo_rewrite: dict[str, RewriteResult] = {}
+        self._memo_direct: dict[str, MarketAccessNode] = {}
+        self._memo_region_rows: dict[str, float] = {}
+        self._memo_standalone: dict[str, bool] = {}
+        self._memo_bindable: dict[tuple[str, str], bool] = {}
+        self._memo_feasible: dict[tuple[str, frozenset[str]], bool] = {}
+        self._memo_distinct: dict[tuple[str, str], float] = {}
+        self._memo_domain: dict[tuple[str, str], float] = {}
 
         market_tables = [t for t in query.tables if self.context.is_market(t)]
         local_tables = [t for t in query.tables if not self.context.is_market(t)]
@@ -132,6 +211,17 @@ class Optimizer:
 
         best = self._dynamic_program(priced, block)
         key = frozenset(t.lower() for t in priced)
+        if key not in best and self._prune:
+            # The greedy seed's bound proved unreachable within the pruned
+            # space (possible only when no greedy completion exists, e.g.
+            # every remaining table needs a binding the current prefix
+            # cannot supply in greedy order).  Correctness net: re-run the
+            # exhaustive oracle; parity with ``prune=False`` is preserved
+            # because pruning then contributed nothing.
+            self._prune = False
+            self._upper_bound = math.inf
+            self.context.metrics.counter("plan_bnb_fallbacks").inc()
+            best = self._dynamic_program(priced, block)
         if key not in best:
             raise PlanningError(
                 "no feasible plan: some bound attributes can never be bound"
@@ -145,6 +235,7 @@ class Optimizer:
             evaluated_plans=self._evaluated,
             enumerated_boxes=self._enumerated_boxes,
             kept_boxes=self._kept_boxes,
+            pruned_plans=self._pruned,
         )
 
     # ---------------------------------------------------------------- theorems
@@ -243,6 +334,9 @@ class Optimizer:
             else frozenset()
         )
         by_name = {t.lower(): t for t in priced}
+        self._full_key = frozenset(by_name)
+        if self._prune:
+            self._upper_bound = self._greedy_upper_bound(priced, block)
 
         # Level 1.
         for table in priced:
@@ -271,6 +365,35 @@ class Optimizer:
                         self._consider(best, subset, candidate)
         return best
 
+    def _greedy_upper_bound(
+        self, priced: list[str], block: _SubPlan | None
+    ) -> float:
+        """Cost of a cheap greedy left-deep plan — the initial B&B bound.
+
+        Repeatedly extends the current prefix with the globally cheapest
+        access over all remaining tables.  The resulting cost is the cost
+        of one complete executable strategy, so any stored subplan already
+        costing strictly more can never be part of the final optimum
+        (access costs are non-negative and additive).  When the greedy
+        walk gets stuck (a remaining table is neither directly feasible
+        nor joinable to the prefix) the bound stays infinite and this
+        query runs unpruned.
+        """
+        current = block
+        remaining = dict(sorted((t.lower(), t) for t in priced))
+        while remaining:
+            step: _SubPlan | None = None
+            step_key: str | None = None
+            for key, table in remaining.items():
+                for candidate in self._extension_candidates(current, table):
+                    if step is None or candidate.cost < step.cost:
+                        step, step_key = candidate, key
+            if step is None:
+                return math.inf
+            current = step
+            del remaining[step_key]
+        return current.cost if current is not None else math.inf
+
     def _consider(
         self,
         best: dict[frozenset[str], _SubPlan],
@@ -279,6 +402,20 @@ class Optimizer:
     ) -> None:
         incumbent = best.get(key)
         accepted = incumbent is None or candidate.cost < incumbent.cost
+        # Branch and bound: a subplan costing strictly more than a known
+        # complete plan can never extend into the optimum.  Strictly — on
+        # a cost tie ``accepted`` already keeps the first-seen plan, which
+        # is what makes pruned and oracle runs byte-identical.
+        bounded = self._prune and candidate.cost > self._upper_bound
+        if bounded:
+            accepted = False
+        if self._prune and not accepted:
+            # Dominance: the retained plan over the same table set has
+            # lower-or-equal cost and (left-deep plans over one table set
+            # expose the same usable bound attributes, fixed by the set
+            # and the join graph) an equal attribute superset — or the
+            # candidate exceeded the bound outright.
+            self._pruned += 1
         if self._tracing:
             # Rejected candidates are exactly what EXPLAIN cannot show —
             # the trace records every considered (sub)plan with its cost.
@@ -287,9 +424,17 @@ class Optimizer:
                 tables=sorted(key),
                 cost=candidate.cost,
                 accepted=accepted,
+                bounded=bounded,
             )
         if accepted:
             best[key] = candidate
+            if (
+                self._prune
+                and key == self._full_key
+                and candidate.cost < self._upper_bound
+            ):
+                # A cheaper complete plan tightens the bound mid-run.
+                self._upper_bound = candidate.cost
 
     def _combine_components(
         self,
@@ -396,21 +541,39 @@ class Optimizer:
         return found
 
     def _direct_access(self, table: str) -> MarketAccessNode:
-        rewrite = self._rewrite(table)
-        statistics = self.context.catalog.statistics(table)
-        region_rows = sum(
-            statistics.histogram.estimate(box) for box in rewrite.request_boxes
-        )
-        cost = self._objective_cost(rewrite)
+        # The access node is a pure function of the table (given the query
+        # and store state), so one instance is shared by every candidate
+        # that embeds it; plans never mutate their nodes.  The Figure-15
+        # box counters still tick per use, exactly like the oracle's.
+        key = table.lower()
+        node = self._memo_direct.get(key)
+        if node is None:
+            rewrite = self._rewrite(table)
+            node = MarketAccessNode(
+                relations=frozenset([key]),
+                cost=self._objective_cost(rewrite),
+                estimated_rows=self._region_rows(table),
+                table=table,
+                rewrite=rewrite,
+            )
+            self._memo_direct[key] = node
+        rewrite = node.rewrite
         self._enumerated_boxes += rewrite.enumerated_boxes
         self._kept_boxes += rewrite.kept_boxes
-        return MarketAccessNode(
-            relations=frozenset([table.lower()]),
-            cost=cost,
-            estimated_rows=region_rows,
-            table=table,
-            rewrite=rewrite,
-        )
+        return node
+
+    def _region_rows(self, table: str) -> float:
+        """Histogram estimate of the table's whole request region (memoized)."""
+        key = table.lower()
+        rows = self._memo_region_rows.get(key)
+        if rows is None:
+            rewrite = self._rewrite(table)
+            histogram = self.context.catalog.statistics(table).histogram
+            rows = sum(
+                histogram.estimate(box) for box in rewrite.request_boxes
+            )
+            self._memo_region_rows[key] = rows
+        return rows
 
     def _bind_access(
         self,
@@ -419,12 +582,9 @@ class Optimizer:
         left: _SubPlan,
     ) -> MarketAccessNode:
         """Cost a bind-join access: one call per distinct binding combination."""
-        statistics = self.context.catalog.statistics(table)
         tuples_per_transaction = self.context.tuples_per_transaction(table)
         rewrite = self._rewrite(table)
-        region_rows = sum(
-            statistics.histogram.estimate(box) for box in rewrite.request_boxes
-        )
+        region_rows = self._region_rows(table)
 
         bindings = 1.0
         selectivity = 1.0
@@ -476,24 +636,31 @@ class Optimizer:
         return float(rewrite.estimated_transactions)
 
     def _rewrite(self, table: str) -> RewriteResult:
-        """Rewrite a table access for costing.
+        """Rewrite a table access for costing (memoized per optimize()).
 
-        No per-optimizer cache: the rewriter memoizes on the store epoch
-        (plus constraints/page size/switches), so the many probes one DP
-        run makes are cache hits there — and unlike a per-query cache, the
-        memo can never serve a result computed before a store mutation.
+        The per-call memo is safe because planning never mutates the
+        store: within one ``optimize()`` every probe of a table returns
+        the same result.  The rewriter's own epoch-keyed memo still
+        guards reuse *across* queries — it can never serve a result
+        computed before a store mutation.
         """
+        key = table.lower()
+        cached = self._memo_rewrite.get(key)
+        if cached is not None:
+            return cached
         rewriter = self.context.rewriter
         previous = rewriter.enabled
         rewriter.enabled = previous and self.options.use_sqr
         try:
-            return rewriter.rewrite(
+            result = rewriter.rewrite(
                 table,
                 self._query.constraints_for(table),
                 self.context.tuples_per_transaction(table),
             )
         finally:
             rewriter.enabled = previous
+        self._memo_rewrite[key] = result
+        return result
 
     # ------------------------------------------------------------- feasibility
 
@@ -507,46 +674,79 @@ class Optimizer:
 
     def _standalone_feasible(self, table: str) -> bool:
         """All bound dimensions are constrained by the query itself."""
+        key = table.lower()
+        cached = self._memo_standalone.get(key)
+        if cached is not None:
+            return cached
         constrained = self._constrained_attributes(table)
+        feasible = True
         for dimension in self._space(table).dimensions:
             if dimension.is_bound and dimension.attribute.lower() not in constrained:
-                return False
-        return True
+                feasible = False
+                break
+        self._memo_standalone[key] = feasible
+        return feasible
 
     def _feasible_with_binding(self, table: str, bound_columns: set[str]) -> bool:
-        constrained = self._constrained_attributes(table)
-        constrained |= {c.lower() for c in bound_columns}
+        key = (table.lower(), frozenset(c.lower() for c in bound_columns))
+        cached = self._memo_feasible.get(key)
+        if cached is not None:
+            return cached
+        constrained = self._constrained_attributes(table) | key[1]
+        feasible = True
         for dimension in self._space(table).dimensions:
             if dimension.is_bound and dimension.attribute.lower() not in constrained:
-                return False
-        return True
+                feasible = False
+                break
+        self._memo_feasible[key] = feasible
+        return feasible
 
     def _bindable(self, table: str, column: str) -> bool:
         """A bind join can only bind a constrainable (dimension) attribute."""
-        return self._space(table).has_dimension(column)
+        key = (table.lower(), column.lower())
+        cached = self._memo_bindable.get(key)
+        if cached is None:
+            cached = self._space(table).has_dimension(column)
+            self._memo_bindable[key] = cached
+        return cached
 
     # ----------------------------------------------------------------- statistics
 
     def _base_distinct(self, table: str, column: str) -> float:
+        key = (table.lower(), column.lower())
+        cached = self._memo_distinct.get(key)
+        if cached is not None:
+            return cached
         if self.context.is_market(table):
             statistics = self.context.catalog.statistics(table)
             space = statistics.space
             index = space.dimension_index(column)
             if index is None:
-                return float(statistics.cardinality)
-            dimension = space.dimensions[index]
-            return float(
-                min(dimension.high - dimension.low, statistics.cardinality)
-            )
-        return float(self.context.local_info(table).distinct_of(column))
+                distinct = float(statistics.cardinality)
+            else:
+                dimension = space.dimensions[index]
+                distinct = float(
+                    min(dimension.high - dimension.low, statistics.cardinality)
+                )
+        else:
+            distinct = float(self.context.local_info(table).distinct_of(column))
+        self._memo_distinct[key] = distinct
+        return distinct
 
     def _attribute_domain_size(self, table: str, column: str) -> float:
+        key = (table.lower(), column.lower())
+        cached = self._memo_domain.get(key)
+        if cached is not None:
+            return cached
         statistics = self.context.catalog.statistics(table)
         index = statistics.space.dimension_index(column)
         if index is None:
-            return float(statistics.cardinality)
-        dimension = statistics.space.dimensions[index]
-        return float(dimension.high - dimension.low)
+            size = float(statistics.cardinality)
+        else:
+            dimension = statistics.space.dimensions[index]
+            size = float(dimension.high - dimension.low)
+        self._memo_domain[key] = size
+        return size
 
     def _local_filtered_count(self, table: str) -> float:
         """Exact matching-row count of a local table (local data is free)."""
@@ -673,37 +873,93 @@ class Optimizer:
 # ------------------------------------------------------------------ formulas
 
 
-def plan_space_baseline(n: int, tightened: bool = True) -> int:
-    """Search-space size of plain bushy DP for an all-free chain query.
+def plan_space_baseline(
+    n: int, tightened: bool = True, *, enumerated: bool = True
+) -> int:
+    """Candidate count of the bushy enumerator for an all-market chain query.
 
-    The paper's closed form: ``n + Σ_k C(n,k) · Σ_i C(k,i) · 4^min(i,k-i)``.
-    Its headline approximation "≈ 6^n − 5^n" corresponds to the looser
-    per-plan bound ``4^(k-i)`` (each right-subtree call binds with up to two
-    left calls); pass ``tightened=False`` to evaluate that variant —
-    ``Σ_k C(n,k)·(5^k − 4^k − 1) + n`` — whose leading term is 6^n − 5^n.
+    The default is the **exact** number of candidate plans
+    ``Optimizer(use_theorems=False, prune=False)`` evaluates for a chain
+    of ``n`` market tables with nothing covered (the topology the tests
+    and ``bench_planner`` generate: table *i* shares one join attribute
+    with table *i+1*, every attribute free): ``n`` feasible base accesses,
+    plus per subset of size ``k`` every binary split (``2^k − 2``,
+    memoized best-per-side) and every extension — one direct access per
+    member plus ``j + C(j,2)`` bind combinations for a member with ``j``
+    chain neighbours present.
+
+    ``enumerated=False`` returns the paper's Section 4.1 closed form
+    instead, which counts the un-memoized plan space:
+    ``n + Σ_k C(n,k) · Σ_i C(k,i) · 4^min(i,k-i)``; its looser
+    ``tightened=False`` variant (exponent ``k−i``) has the headline
+    ``6^n − 5^n`` leading term.  ``tightened`` only affects the paper
+    form.
     """
-    total = n
+    if not enumerated:
+        total = n
+        for k in range(2, n + 1):
+            inner = 0
+            for i in range(1, k):
+                exponent = min(i, k - i) if tightened else k - i
+                inner += math.comb(k, i) * 4 ** exponent
+            total += math.comb(n, k) * inner
+        return total
+    total = n  # level 1: one direct access per (feasible) market table
     for k in range(2, n + 1):
-        inner = 0
-        for i in range(1, k):
-            exponent = min(i, k - i) if tightened else k - i
-            inner += math.comb(k, i) * 4 ** exponent
-        total += math.comb(n, k) * inner
+        # Every subset of size k gets all 2^k − 2 binary splits plus one
+        # direct-access extension per member.
+        total += math.comb(n, k) * (2 ** k - 2 + k)
+        # Bind extensions: a member with j chain neighbours present in the
+        # rest contributes C(j,1) + C(j,2) bind combinations (j <= 2).
+        if n >= 3:
+            both = (n - 2) * math.comb(n - 3, k - 3) if k >= 3 else 0
+            one_interior = 2 * (n - 2) * math.comb(n - 3, k - 2)
+            one_endpoint = 2 * math.comb(n - 2, k - 2)
+            total += 3 * both + one_interior + one_endpoint
+        elif n == 2:
+            # Two tables: each extension has its single neighbour present.
+            total += 2
     return total
 
 
-def plan_space_payless(n: int, zero_price: int = 0) -> int:
-    """Search-space size with Theorems 1-3 for a chain query.
+def plan_space_payless(
+    n: int, zero_price: int = 0, *, enumerated: bool = True
+) -> int:
+    """Candidate count with Theorems 1-3 for a chain query.
 
-    ``4n' + Σ_k (4·k·(n'-k+1) + (C(n',k) − (n'-k+1)))`` with
-    ``n' = n − m`` zero-price relations folded away; ≈ 2^n' + (2/3)n'³.
+    The default is the **exact** number of candidate plans
+    ``Optimizer(prune=False)`` evaluates for a chain of ``n`` market
+    tables whose first ``zero_price`` tables the store fully covers (so
+    Theorem 2 folds them into the local block).  With ``n' = n − m``
+    priced tables left: level 1 contributes one direct access each plus a
+    block bind join for the table adjacent to the block; a connected
+    interval of size ``k`` contributes ``4k − 4`` candidates (``4k − 2``
+    when anchored at the block); each disconnected subset with all its
+    components planned contributes one Theorem-3 combination.
+
+    ``enumerated=False`` returns the previous closed-form approximation
+    ``4n' + Σ_k (4·k·(n'-k+1) + (C(n',k) − (n'-k+1)))`` ≈ 2^n' + (2/3)n'³.
     """
     reduced = n - zero_price
+    if not enumerated:
+        if reduced <= 0:
+            return 1
+        total = 4 * reduced
+        for k in range(2, reduced + 1):
+            connected = reduced - k + 1
+            disconnected = math.comb(reduced, k) - connected
+            total += 4 * k * connected + disconnected
+        return total
     if reduced <= 0:
-        return 1
-    total = 4 * reduced
+        return 0  # the zero-price block is the plan; nothing is enumerated
+    block = zero_price >= 1
+    total = reduced + (1 if block else 0)
     for k in range(2, reduced + 1):
-        connected = reduced - k + 1
-        disconnected = math.comb(reduced, k) - connected
-        total += 4 * k * connected + disconnected
+        intervals = reduced - k + 1
+        if block:
+            # The interval anchored at the block gains the block bind join.
+            total += (intervals - 1) * (4 * k - 4) + (4 * k - 2)
+        else:
+            total += intervals * (4 * k - 4)
+        total += math.comb(reduced, k) - intervals
     return total

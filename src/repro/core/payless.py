@@ -23,13 +23,14 @@ Minimizing-Calls competitor.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.core.baselines import DownloadAllStrategy
 from repro.core.context import PlanningContext
 from repro.core.executor import ExecutionResult, Executor, FailedFetch
 from repro.core.optimizer import Optimizer, OptimizerOptions, PlanningResult
+from repro.core.plancache import PlanCache
 from repro.core.plans import PlanNode
 from repro.core.rewriter import SemanticRewriter
 from repro.errors import PlanningError
@@ -46,8 +47,12 @@ from repro.relational.table import Table
 from repro.semstore.consistency import ConsistencyPolicy
 from repro.semstore.space import BoxSpace
 from repro.semstore.store import SemanticStore
-from repro.sqlparser.analyzer import compile_sql
+from repro.sqlparser.analyzer import analyze, compile_sql
+from repro.sqlparser.ast import SelectStatement
 from repro.stats.catalog import Catalog
+
+#: Sentinel distinguishing "no cache key computed yet" from "don't cache".
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -229,6 +234,14 @@ class Explanation:
         return self.planning.kept_boxes
 
     @property
+    def pruned_plans(self) -> int:
+        return self.planning.pruned_plans
+
+    @property
+    def from_cache(self) -> bool:
+        return self.planning.from_cache
+
+    @property
     def analyzed(self) -> bool:
         return self.stats is not None
 
@@ -303,6 +316,14 @@ class PayLess:
         )
         for table in self.local_db:
             self.context.register_local(table)
+        #: The epoch-keyed parameterized plan cache: repeat templates skip
+        #: parse + analyze + planning entirely (see repro.core.plancache).
+        self.plan_cache = PlanCache(
+            self.store,
+            capacity=self.options.plan_cache_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
         self.total_transactions = 0
         self.total_price = 0.0
         self.total_calls = 0
@@ -367,16 +388,57 @@ class PayLess:
         """Parse + analyze ``sql`` against registered tables."""
         return compile_sql(sql, self.context, params)
 
+    def _planner_fingerprint(self) -> tuple:
+        """Everything besides the query itself that can change planning.
+
+        Part of every plan-cache key: two installations (or one whose
+        configuration changed) must never serve each other's plans.
+        """
+        options = self.options
+        transport = self.transport_config
+        return (
+            options.use_sqr,
+            options.use_theorems,
+            options.objective,
+            options.max_bind_attrs,
+            options.prune,
+            self.execution.engine,
+            self.rewriter.prune,
+            self.statistic,
+            transport.partial_results,
+            transport.max_retries,
+            transport.idempotency,
+            transport.faults is not None,
+        )
+
+    def _plan_statement(
+        self, statement: SelectStatement, params: Sequence[Any]
+    ) -> tuple[PlanningResult, LogicalQuery]:
+        """Plan a parsed template through the cache, without executing."""
+        key = self.plan_cache.statement_key(
+            statement, params, self._planner_fingerprint()
+        )
+        entry = self.plan_cache.lookup(key)
+        if entry is not None:
+            return replace(entry.planning, cache_status="hit"), entry.logical
+        logical = analyze(statement, self.context, params)
+        planning = Optimizer(self.context, self.options).optimize(logical)
+        planning.cache_status = "miss" if self.plan_cache.enabled else "off"
+        self.plan_cache.insert(key, logical, planning)
+        return planning, logical
+
     def explain(self, sql: str, params: Sequence[Any] = ()) -> Explanation:
         """Optimize without executing: no market call, no billing.
 
         ``str(...)`` of the returned :class:`Explanation` is the EXPLAIN
         text; it also forwards every planning-result attribute (``plan``,
         ``cost``, ``evaluated_plans``, ...), so existing callers keep
-        working unchanged.
+        working unchanged.  Planning goes through the plan cache: a repeat
+        EXPLAIN (or a later identical query) reuses the cached plan as
+        long as the store epochs it was stamped with still hold.
         """
-        query = self.compile(sql, params)
-        planning = Optimizer(self.context, self.options).optimize(query)
+        statement = self.plan_cache.parse_sql(sql)
+        planning, __ = self._plan_statement(statement, params)
         return Explanation(planning=planning, label=sql)
 
     def explain_analyze(
@@ -395,11 +457,11 @@ class PayLess:
             tracer.begin_query(sql)
             try:
                 with tracer.span("parse"):
-                    logical = self.compile(sql, params)
+                    statement = self.plan_cache.parse_sql(sql)
             except BaseException:
                 tracer.end_query()
                 raise
-            result, planning = self._execute(logical)
+            result, planning = self._execute_statement(statement, params)
         finally:
             tracer.enabled = previous
         return Explanation(
@@ -414,16 +476,60 @@ class PayLess:
         """Optimize and execute ``sql``, paying as little as possible."""
         tracer = self.tracer
         if not tracer.enabled:
-            logical = self.compile(sql, params)
-            return self.execute_logical(logical)
+            statement = self.plan_cache.parse_sql(sql)
+            result, __ = self._execute_statement(statement, params)
+            return result
         tracer.begin_query(sql)
         try:
             with tracer.span("parse"):
-                logical = self.compile(sql, params)
+                statement = self.plan_cache.parse_sql(sql)
         except BaseException:
             tracer.end_query()
             raise
-        return self.execute_logical(logical)
+        result, __ = self._execute_statement(statement, params)
+        return result
+
+    def execute_statement(
+        self, statement: SelectStatement, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """Run an already-parsed statement (the :class:`PreparedQuery` path).
+
+        Planning is served from the plan cache when the template+params
+        were planned before at the current store epochs; otherwise the
+        statement is re-analyzed and planned fresh (and cached).
+        """
+        result, __ = self._execute_statement(statement, params)
+        return result
+
+    def _execute_statement(
+        self, statement: SelectStatement, params: Sequence[Any]
+    ) -> tuple[QueryResult, PlanningResult]:
+        tracer = self.tracer
+        # Open the trace before the cache lookup so its hit/miss event
+        # lands inside this query's span tree (the PreparedQuery path —
+        # query()/explain_analyze() already opened it around parsing).
+        if tracer.enabled and tracer.active is None:
+            tracer.begin_query(
+                ", ".join(ref.name for ref in statement.tables)
+            )
+        try:
+            key = self.plan_cache.statement_key(
+                statement, params, self._planner_fingerprint()
+            )
+            entry = self.plan_cache.lookup(key)
+            if entry is not None:
+                return self._execute(
+                    entry.logical,
+                    planning=replace(entry.planning, cache_status="hit"),
+                )
+            logical = analyze(statement, self.context, params)
+        except BaseException:
+            # _execute() closes the trace on its own failures; anything
+            # raised before it (analysis errors) must close it here.
+            if tracer.enabled and tracer.active is not None:
+                tracer.end_query()
+            raise
+        return self._execute(logical, cache_key=key)
 
     def execute_logical(self, logical: LogicalQuery) -> QueryResult:
         """Run an already-compiled query (the benchmark harness fast path)."""
@@ -431,7 +537,10 @@ class PayLess:
         return result
 
     def _execute(
-        self, logical: LogicalQuery
+        self,
+        logical: LogicalQuery,
+        planning: PlanningResult | None = None,
+        cache_key: Any = _UNSET,
     ) -> tuple[QueryResult, PlanningResult]:
         tracer = self.tracer
         tracing = tracer.enabled
@@ -440,7 +549,22 @@ class PayLess:
         if tracing and tracer.active is None:
             tracer.begin_query(", ".join(logical.tables))
         try:
-            planning = Optimizer(self.context, self.options).optimize(logical)
+            if planning is None and cache_key is _UNSET:
+                # execute_logical() path: key on the logical query itself.
+                cache_key = self.plan_cache.logical_key(
+                    logical, self._planner_fingerprint()
+                )
+                entry = self.plan_cache.lookup(cache_key)
+                if entry is not None:
+                    planning = replace(entry.planning, cache_status="hit")
+            if planning is None:
+                planning = Optimizer(self.context, self.options).optimize(
+                    logical
+                )
+                planning.cache_status = (
+                    "miss" if self.plan_cache.enabled else "off"
+                )
+                self.plan_cache.insert(cache_key, logical, planning)
             execution = Executor(self.context).execute(logical, planning.plan)
         except BaseException:
             if tracing:

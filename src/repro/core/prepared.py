@@ -6,6 +6,12 @@ are parameterized queries embedded in certain application so that users
 values via a web interface."  A :class:`PreparedQuery` is that template:
 parsed once, analyzed and optimized per execution (the optimum depends on
 the parameter values *and* on what the store already holds).
+
+Executions route through the installation's plan cache
+(:mod:`repro.core.plancache`): a repeat binding at unchanged store epochs
+reuses the cached plan instead of re-analyzing and re-planning, and any
+purchase into a referenced table invalidates the entry — so "optimized
+per execution" still holds whenever re-planning could change the answer.
 """
 
 from __future__ import annotations
@@ -15,7 +21,6 @@ from typing import Any, Sequence
 from repro.core.payless import PayLess, QueryResult
 from repro.errors import SqlAnalysisError
 from repro.sqlparser.ast import SelectStatement
-from repro.sqlparser.parser import parse
 
 
 class PreparedQuery:
@@ -24,7 +29,7 @@ class PreparedQuery:
     def __init__(self, payless: PayLess, sql: str):
         self.payless = payless
         self.sql = sql
-        self._statement: SelectStatement = parse(sql)
+        self._statement: SelectStatement = payless.plan_cache.parse_sql(sql)
         self.executions = 0
         self.total_transactions = 0
 
@@ -39,23 +44,14 @@ class PreparedQuery:
                 f"template has {self.parameter_count} parameters, "
                 f"{len(params)} values given"
             )
-        from repro.sqlparser.analyzer import analyze
-
-        logical = analyze(self._statement, self.payless.context, params)
-        result = self.payless.execute_logical(logical)
+        result = self.payless.execute_statement(self._statement, params)
         self.executions += 1
         self.total_transactions += result.stats.transactions
         return result
 
     def explain(self, params: Sequence[Any] = ()):
         """Optimize (without executing) for one parameter binding."""
-        from repro.core.optimizer import Optimizer
-        from repro.sqlparser.analyzer import analyze
-
-        logical = analyze(self._statement, self.payless.context, params)
-        return Optimizer(self.payless.context, self.payless.options).optimize(
-            logical
-        )
+        return self.payless._plan_statement(self._statement, params)[0]
 
     def __repr__(self) -> str:
         return (

@@ -197,10 +197,19 @@ def _render_node(
     lines.append(f"{pad}{type(node).__name__} est {_fmt(node.cost)} trans")
 
 
+def _planner_line(planning: "PlanningResult") -> str:
+    return (
+        f"planner: {planning.kept_plans} candidate(s) kept, "
+        f"{planning.pruned_plans} pruned; "
+        f"plan cache {planning.cache_status}"
+    )
+
+
 def render_explain(planning: "PlanningResult", label: str | None = None) -> str:
     """The EXPLAIN rendering: estimated plan + coverage, market untouched."""
     lines = [f"EXPLAIN {label}" if label else "EXPLAIN"]
     _render_node(planning.plan, 0, lines, None)
+    lines.append(_planner_line(planning))
     lines.append(
         f"estimated: {_fmt(planning.cost)} transactions; "
         f"{planning.evaluated_plans} candidate plan(s) evaluated; "
@@ -230,6 +239,7 @@ def render_explain_analyze(
             f"{attrs.get('eval_ms', 0.0):.2f} ms "
             f"({rate:,.0f} rows/sec)"
         )
+    lines.append(_planner_line(planning))
     lines.append(
         f"estimated: {_fmt(planning.cost)} transactions; "
         f"actual: {stats.transactions} transactions, "

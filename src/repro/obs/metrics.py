@@ -22,11 +22,22 @@ Metric names used by the pipeline:
 ``breaker_opens``                  counter — transitions into OPEN
 ``fetch_batch_size``               histogram — remainder calls per access
 ``query_transactions``             histogram — transactions per query
+``plan_candidates``                counter — candidate (sub)plans evaluated
+``plan_candidates_pruned``         counter — candidates discarded by
+                                   branch-and-bound / dominance pruning
+``plan_bnb_fallbacks``             counter — prunings undone by the
+                                   correctness net (re-ran unpruned)
+``plan_cache_hits`` / ``..misses``  counters — plan-cache outcomes
+``plan_cache_invalidations``       counter — entries dropped on epoch or
+                                   clock change
+``plan_cache_evictions``           counter — entries dropped by LRU
+``planning_us``                    histogram — planning wall-clock, µs
 =================================  ==========================================
 
-Derived ratios (memo hit rate, store coverage ratio) are computed at
-snapshot time and appear in :meth:`MetricsRegistry.snapshot` under
-``memo_hit_rate`` and ``store_coverage_ratio``.
+Derived ratios (memo hit rate, store coverage ratio, plan-cache hit
+rate) are computed at snapshot time and appear in
+:meth:`MetricsRegistry.snapshot` under ``memo_hit_rate``,
+``store_coverage_ratio``, and ``plan_cache_hit_rate``.
 """
 
 from __future__ import annotations
@@ -183,6 +194,10 @@ class MetricsRegistry:
             out["store_coverage_ratio"] = (
                 out.get("rewrites_covered", 0.0) / rewrites
             )
+        plan_hits = out.get("plan_cache_hits", 0.0)
+        plan_misses = out.get("plan_cache_misses", 0.0)
+        if plan_hits + plan_misses:
+            out["plan_cache_hit_rate"] = plan_hits / (plan_hits + plan_misses)
         return out
 
 

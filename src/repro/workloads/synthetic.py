@@ -1,0 +1,169 @@
+"""Synthetic join-graph workloads: chain / star / clique market tables.
+
+The planner benchmarks and parity tests need join graphs whose *shape*
+and *size* are controlled exactly — the weather and TPC-H workloads max
+out at a handful of tables.  This module publishes one dataset of ``n``
+market tables wired as:
+
+* **chain**  — ``T1 — T2 — … — Tn`` (table *i* shares join attribute
+  ``K<i>`` with table *i+1*); the topology the closed-form
+  ``plan_space_*`` counts in :mod:`repro.core.optimizer` describe;
+* **star**   — hub ``T1`` joined to every spoke ``T2..Tn`` on a
+  dedicated attribute;
+* **clique** — every pair of tables joined on a dedicated attribute
+  (the worst case for subset enumeration).
+
+Every attribute is a free (unbound) integer dimension, so direct access
+is always feasible and every join attribute is bindable — the regime the
+enumeration-count formulas assume.  Data is deterministic for a given
+``(shape, n, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.market.binding import BindingPattern
+from repro.market.dataset import Dataset
+from repro.market.pricing import PricingPolicy
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, Domain, Schema
+from repro.relational.table import Table
+from repro.relational.types import AttributeType as T
+
+SHAPES = ("chain", "star", "clique")
+
+#: Integer domain of every join attribute: values in [1, DOMAIN_HIGH].
+DOMAIN_HIGH = 4
+#: Rows sampled per table when the full cross product would be too big.
+SAMPLED_ROWS = 24
+
+
+@dataclass
+class SyntheticJoinData:
+    """The harness-compatible workload-data view of one join graph."""
+
+    dataset: Dataset
+    shape: str
+    n: int
+    #: Table names ``T1..Tn`` in chain/spoke order.
+    tables: list[str]
+    #: The n-way join query over the whole graph (no constraints).
+    sql: str
+
+    @property
+    def datasets(self) -> list[Dataset]:
+        return [self.dataset]
+
+    def local_database(self) -> Database:
+        return Database()
+
+    def total_market_rows(self) -> int:
+        return sum(len(table.table) for table in self.dataset)
+
+
+def _columns_for(shape: str, index: int, n: int) -> list[str]:
+    """Join-attribute columns of table ``T<index>`` (1-based)."""
+    if shape == "chain":
+        columns = []
+        if index > 1:
+            columns.append(f"K{index - 1}")
+        if index < n:
+            columns.append(f"K{index}")
+        return columns
+    if shape == "star":
+        if index == 1:  # the hub carries one attribute per spoke
+            return [f"K{i}" for i in range(2, n + 1)]
+        return [f"K{index}"]
+    if shape == "clique":
+        return [
+            f"K{min(index, j)}_{max(index, j)}"
+            for j in range(1, n + 1)
+            if j != index
+        ]
+    raise ReproError(f"unknown join-graph shape {shape!r}; pick one of {SHAPES}")
+
+
+def _rows_for(columns: list[str], rng: random.Random) -> list[tuple]:
+    if len(columns) == 1:
+        return [(value,) for value in range(1, DOMAIN_HIGH + 1)]
+    if len(columns) == 2:  # small cross product, fully materialized
+        return [
+            (a, b)
+            for a in range(1, DOMAIN_HIGH + 1)
+            for b in range(1, DOMAIN_HIGH + 1)
+        ]
+    return [
+        tuple(rng.randint(1, DOMAIN_HIGH) for __ in columns)
+        for __ in range(SAMPLED_ROWS)
+    ]
+
+
+def _join_pairs(shape: str, n: int) -> list[tuple[int, int, str]]:
+    """(left table index, right table index, join attribute) per edge."""
+    if shape == "chain":
+        return [(i, i + 1, f"K{i}") for i in range(1, n)]
+    if shape == "star":
+        return [(1, i, f"K{i}") for i in range(2, n + 1)]
+    if shape == "clique":
+        return [
+            (i, j, f"K{i}_{j}")
+            for i in range(1, n + 1)
+            for j in range(i + 1, n + 1)
+        ]
+    raise ReproError(f"unknown join-graph shape {shape!r}; pick one of {SHAPES}")
+
+
+def join_graph_sql(shape: str, n: int) -> str:
+    """The n-way join over the whole graph: SELECT * plus every edge."""
+    tables = ", ".join(f"T{i}" for i in range(1, n + 1))
+    predicates = " AND ".join(
+        f"T{left}.{attr} = T{right}.{attr}"
+        for left, right, attr in _join_pairs(shape, n)
+    )
+    sql = f"SELECT * FROM {tables}"
+    if predicates:
+        sql += f" WHERE {predicates}"
+    return sql
+
+
+def make_join_graph(
+    shape: str,
+    n: int,
+    tuples_per_transaction: int = 10,
+    seed: int = 0,
+) -> SyntheticJoinData:
+    """Publish a ``shape`` join graph of ``n`` market tables as one dataset."""
+    if n < 1:
+        raise ReproError(f"a join graph needs at least one table, got n={n}")
+    rng = random.Random(seed)
+    dataset = Dataset(
+        f"SYN_{shape.upper()}{n}",
+        PricingPolicy(tuples_per_transaction=tuples_per_transaction),
+    )
+    tables = []
+    for index in range(1, n + 1):
+        name = f"T{index}"
+        columns = _columns_for(shape, index, n)
+        schema = Schema(
+            [
+                Attribute(column, T.INT, Domain.numeric(1, DOMAIN_HIGH))
+                for column in columns
+            ]
+        )
+        pattern = BindingPattern.parse(
+            name, ", ".join(f"{column}f" for column in columns)
+        )
+        dataset.add_table(
+            Table(name, schema, _rows_for(columns, rng)), pattern
+        )
+        tables.append(name)
+    return SyntheticJoinData(
+        dataset=dataset,
+        shape=shape,
+        n=n,
+        tables=tables,
+        sql=join_graph_sql(shape, n),
+    )

@@ -1,0 +1,214 @@
+"""The epoch-keyed parameterized plan cache (repro.core.plancache).
+
+The invariant everything here protects: a cache hit must return exactly
+what fresh planning would have produced.  The cache therefore keys on
+template + parameter values + planner fingerprint and revalidates the
+store epochs stamped at planning time — any purchase into a referenced
+table, or a store-clock advance, invalidates the entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_system
+from repro.core.plancache import PlanCache
+from repro.core.prepared import PreparedQuery
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.synthetic import make_join_graph
+
+
+def build(shape: str = "chain", n: int = 3, **kwargs):
+    data = make_join_graph(shape, n)
+    payless, __ = build_system("payless", data, **kwargs)
+    return payless, data
+
+
+def warm(payless, n: int) -> None:
+    """Buy every table whole so later queries purchase nothing (fixed
+    epochs: executions no longer mutate the store)."""
+    for i in range(1, n + 1):
+        payless.query(f"SELECT * FROM T{i}")
+
+
+class TestHitMissLifecycle:
+    def test_repeat_query_miss_invalidate_hit(self):
+        payless, data = build()
+        cache = payless.plan_cache
+        # 1st: cold miss; its own purchases bump the referenced epochs,
+        # so the entry (stamped at planning time) is immediately stale.
+        payless.query(data.sql)
+        assert (cache.hits, cache.misses, cache.invalidations) == (0, 1, 0)
+        # 2nd: the stale entry is dropped and re-planned at the settled
+        # epochs; execution is fully covered, so nothing changes anymore.
+        payless.query(data.sql)
+        assert (cache.hits, cache.misses, cache.invalidations) == (0, 2, 1)
+        # 3rd: a genuine hit.
+        payless.query(data.sql)
+        assert (cache.hits, cache.misses, cache.invalidations) == (1, 2, 1)
+
+    def test_hit_preserves_planning_counts(self):
+        payless, data = build()
+        warm(payless, 3)
+        first = payless.explain(data.sql)
+        second = payless.explain(data.sql)
+        assert second.planning.cache_status == "hit"
+        assert second.from_cache
+        assert not first.from_cache
+        assert second.evaluated_plans == first.evaluated_plans
+        assert second.pruned_plans == first.pruned_plans
+        assert second.cost == first.cost
+        assert second.plan.describe() == first.plan.describe()
+
+    def test_purchase_into_referenced_table_invalidates(self):
+        payless, data = build()
+        warm(payless, 1)  # T1 covered; T2/T3 still priced
+        payless.explain(data.sql)
+        assert payless.plan_cache.size >= 1
+        # Buying into T2 (referenced by the cached template) must
+        # invalidate: the optimum may have changed.
+        payless.query("SELECT * FROM T2 WHERE K1 = 1")
+        before = payless.plan_cache.invalidations
+        explanation = payless.explain(data.sql)
+        assert explanation.planning.cache_status == "miss"
+        assert payless.plan_cache.invalidations == before + 1
+
+    def test_clock_advance_invalidates(self):
+        payless, data = build()
+        warm(payless, 3)
+        payless.query(data.sql)  # cached at the settled epochs
+        payless.store.advance_clock(1)
+        explanation = payless.explain(data.sql)
+        assert explanation.planning.cache_status == "miss"
+
+    def test_metrics_and_hit_rate(self):
+        metrics = MetricsRegistry()
+        payless, data = build(metrics=metrics)
+        warm(payless, 3)
+        payless.query(data.sql)
+        payless.query(data.sql)
+        snap = metrics.snapshot()
+        assert snap["plan_cache_hits"] >= 1
+        assert snap["plan_cache_misses"] >= 1
+        assert 0.0 < snap["plan_cache_hit_rate"] < 1.0
+        assert snap["plan_cache_hit_rate"] == payless.plan_cache.hit_rate
+
+
+class TestKeying:
+    def test_different_params_get_separate_entries(self):
+        payless, __ = build()
+        warm(payless, 3)
+        template = "SELECT * FROM T1 WHERE K1 = ?"
+        payless.query(template, (1,))
+        payless.query(template, (2,))
+        assert payless.plan_cache.hits == 0
+        payless.query(template, (1,))
+        assert payless.plan_cache.hits == 1
+
+    def test_whitespace_variants_share_one_entry(self):
+        payless, __ = build()
+        warm(payless, 3)
+        payless.query("SELECT * FROM T1 WHERE K1 = 1")
+        hits = payless.plan_cache.hits
+        payless.query("SELECT  *  FROM   T1  WHERE  K1  =  1")
+        assert payless.plan_cache.hits == hits + 1
+
+    def test_query_and_prepared_share_entries(self):
+        payless, data = build()
+        warm(payless, 3)
+        payless.query(data.sql)
+        prepared = PreparedQuery(payless, data.sql)
+        prepared.execute()
+        assert payless.plan_cache.hits == 1
+
+    def test_unhashable_params_bypass_cache(self):
+        payless, __ = build()
+        statement = payless.plan_cache.parse_sql(
+            "SELECT * FROM T1 WHERE K1 = ?"
+        )
+        assert (
+            PlanCache.statement_key(statement, ([1, 2],), ()) is None
+        )
+
+    def test_fingerprint_separates_configurations(self):
+        payless, data = build()
+        statement = payless.plan_cache.parse_sql(data.sql)
+        key_a = PlanCache.statement_key(statement, (), ("vectorized",))
+        key_b = PlanCache.statement_key(statement, (), ("reference",))
+        assert key_a != key_b
+
+
+class TestCapacity:
+    def test_lru_eviction_at_small_capacity(self):
+        payless, __ = build(plan_cache_size=2)
+        warm(payless, 3)
+        payless.query("SELECT * FROM T1")
+        payless.query("SELECT * FROM T2")
+        payless.query("SELECT * FROM T3")  # evicts the T1 entry
+        assert payless.plan_cache.size == 2
+        assert payless.plan_cache.evictions >= 1
+        hits = payless.plan_cache.hits
+        payless.query("SELECT * FROM T1")  # must re-plan
+        assert payless.plan_cache.hits == hits
+
+    def test_size_zero_disables_the_cache(self):
+        payless, data = build(plan_cache_size=0)
+        warm(payless, 3)
+        assert not payless.plan_cache.enabled
+        payless.query(data.sql)
+        explanation = payless.explain(data.sql)
+        assert explanation.planning.cache_status == "off"
+        assert payless.plan_cache.size == 0
+        assert payless.plan_cache.hits == 0
+
+    def test_clear_empties_the_cache(self):
+        payless, data = build()
+        warm(payless, 3)
+        payless.query(data.sql)
+        assert payless.plan_cache.size > 0
+        payless.plan_cache.clear()
+        assert payless.plan_cache.size == 0
+
+
+class TestPreparedQuerySpans:
+    def test_one_plan_span_across_n_executes_at_fixed_epoch(self):
+        payless, data = build(tracing=True)
+        warm(payless, 3)  # executions below purchase nothing
+        payless.tracer.keep = 32
+        start = len(payless.tracer.traces)
+        prepared = PreparedQuery(payless, data.sql)
+        for __ in range(5):
+            prepared.execute()
+        traces = payless.tracer.traces[start:]
+        assert len(traces) == 5
+        plan_spans = sum(len(t.spans("plan")) for t in traces)
+        assert plan_spans == 1  # planned once, four cache hits
+        cache_events = [
+            span.attrs.get("hit")
+            for t in traces
+            for span in t.spans("plan_cache")
+        ]
+        assert cache_events == [False, True, True, True, True]
+
+    def test_executions_still_execute(self):
+        """A cache hit skips planning, never execution."""
+        payless, data = build()
+        warm(payless, 3)
+        prepared = PreparedQuery(payless, data.sql)
+        first = prepared.execute()
+        second = prepared.execute()
+        assert prepared.executions == 2
+        assert sorted(second.rows) == sorted(first.rows)
+        assert second.stats.transactions == 0  # covered, not skipped
+
+
+class TestLogicalPath:
+    def test_execute_logical_uses_logical_key(self):
+        payless, data = build()
+        warm(payless, 3)
+        logical = payless.compile(data.sql)
+        payless.execute_logical(logical)
+        assert payless.plan_cache.misses >= 1
+        hits = payless.plan_cache.hits
+        payless.execute_logical(payless.compile(data.sql))
+        assert payless.plan_cache.hits == hits + 1
