@@ -91,6 +91,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the parameterized plan cache (every query re-plans "
         "from scratch)",
     )
+    session.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve the session through the concurrent scheduler with N "
+        "worker threads (1 = the classic serial replay)",
+    )
+    session.add_argument(
+        "--sessions", type=int, default=4, metavar="N",
+        help="tenant sessions to spread the queries over round-robin "
+        "(only meaningful with --workers > 1)",
+    )
+    session.add_argument(
+        "--coalesce", action=argparse.BooleanOptionalAction, default=True,
+        help="coalesce overlapping in-flight market fetches across "
+        "sessions (singleflight); --no-coalesce lets concurrent "
+        "sessions pay separately for the same box",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
@@ -158,6 +174,48 @@ def _session_transport(args: argparse.Namespace) -> TransportConfig | None:
     )
 
 
+def _cmd_session_concurrent(args: argparse.Namespace, data, instances) -> int:
+    """The --workers > 1 path: replay through the serving scheduler."""
+    from repro.bench.harness import build_system
+    from repro.serve import QueryScheduler, ServeConfig
+
+    payless, __ = build_system(
+        args.system,
+        data,
+        transport=_session_transport(args),
+        engine=args.engine,
+        prune=not args.no_prune,
+        plan_cache_size=0 if args.no_plan_cache else None,
+    )
+    config = ServeConfig(workers=args.workers, coalesce=args.coalesce)
+    with QueryScheduler(payless, config) as scheduler:
+        tickets = [
+            scheduler.session(f"user{i % max(1, args.sessions)}").submit(
+                instance.sql, instance.params
+            )
+            for i, instance in enumerate(instances)
+        ]
+        failures = 0
+        for ticket in tickets:
+            try:
+                ticket.result()
+            except Exception as error:  # noqa: BLE001 - reported, not fatal
+                failures += 1
+                print(f"  query failed: {error}", file=sys.stderr)
+    print()
+    print(scheduler.spend_report())
+    coalesced = payless.market.ledger.coalesced_savings
+    if coalesced:
+        print(
+            f"coalescing: {coalesced.calls} shared fetches avoided "
+            f"{coalesced.transactions} transactions (${coalesced.price:g})"
+        )
+    if failures:
+        print(f"{failures} queries failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     data = make_workload(args.workload)
     instances = make_instances(args.workload, data, args.instances)
@@ -166,6 +224,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"{data.total_market_rows()} market rows "
         f"(download-all bound: {download_all_bound(data)} transactions)"
     )
+    if args.workers > 1:
+        return _cmd_session_concurrent(args, data, instances)
     session = run_session(
         args.system,
         data,

@@ -105,6 +105,11 @@ class PlanningContext:
             if max_concurrent_calls is not None
             else self.DEFAULT_MAX_CONCURRENT_CALLS
         )
+        #: Singleflight group coalescing overlapping in-flight market
+        #: fetches across concurrent sessions (``None`` = no coalescing).
+        #: Wired by :class:`~repro.serve.scheduler.QueryScheduler`; the
+        #: executor consults it per remainder call.
+        self.coalescer = None
         self._local_info: dict[str, LocalTableInfo] = {}
         self._dataset_of: dict[str, str] = {}
         self._schemas: dict[str, Schema] = {}

@@ -32,6 +32,7 @@ with the failed regions reported on the result.
 from __future__ import annotations
 
 import heapq
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -51,12 +52,18 @@ from repro.errors import (
     TransportError,
 )
 from repro.market.rest import RestRequest
+from repro.market.transport import FetchResult
 from repro.relational.database import Database
 from repro.relational.engine import DEFAULT_EXECUTION, evaluate
 from repro.relational.expressions import Comparison, ColumnRef, RowLayout, conjunction
 from repro.relational.relation import Relation
 from repro.relational.query import AttributeConstraint, LogicalQuery
 from repro.relational.table import Table
+
+
+#: Installation-wide query sequence feeding the per-query ledger
+#: attribution tokens (``q<N>:a<access>``); see ``BillingLedger.attribute``.
+_QUERY_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,22 @@ class FailedFetch:
 
     def __repr__(self) -> str:
         return f"FailedFetch({self.request.url()}: {self.error})"
+
+
+@dataclass(frozen=True)
+class CoveredSkip:
+    """A remainder box found already covered at issue time.
+
+    Only possible under concurrent serving: another session recorded the
+    box between this query's rewrite and its fetch.  Nothing is billed
+    and nothing needs recording — the rows are read from the store like
+    any other cache hit.
+    """
+
+    request: RestRequest
+
+    def __repr__(self) -> str:
+        return f"CoveredSkip({self.request.url()})"
 
 
 @dataclass
@@ -96,6 +119,14 @@ class ExecutionResult:
     #: Regions that could not be bought (non-empty only under the
     #: transport's ``partial_results`` mode; otherwise the executor raises).
     failed_fetches: tuple[FailedFetch, ...] = ()
+    #: Singleflight accounting under concurrent serving: fetches this
+    #: query rode for free on another session's in-flight call, what they
+    #: would have billed, and remainder boxes already covered at issue
+    #: time (see :mod:`repro.serve.singleflight`).
+    coalesced_fetches: int = 0
+    coalesced_savings_transactions: int = 0
+    coalesced_savings_price: float = 0.0
+    covered_skips: int = 0
 
     @property
     def complete(self) -> bool:
@@ -211,18 +242,23 @@ class Executor:
             raise ExecutionError("max_concurrent_calls must be >= 1")
 
     def execute(self, query: LogicalQuery, plan: PlanNode) -> ExecutionResult:
-        ledger = self.context.market.ledger
-        transactions_before = ledger.total_transactions
-        price_before = ledger.total_price
-        calls_before = ledger.total_calls
-        records_before = ledger.total_records
-
         self._query = query
         self._staged: dict[str, list] = {}
         self._critical_path_ms = 0.0
         self._serial_ms = 0.0
         self._scope = self.context.transport.new_scope()
         self._failed_fetches: list[FailedFetch] = []
+        # Ledger attribution: every market call this query issues is
+        # stamped with a per-table-access token (``q<N>:a<M>``), and the
+        # query's cost is the sum over its own tokens' entries.  Global
+        # before/after ledger diffs would claim other sessions' entries
+        # under concurrent serving.
+        self._query_token = f"q{next(_QUERY_SEQ)}"
+        self._access_seq = 0
+        self._spent_transactions = 0
+        self._spent_price = 0.0
+        self._billed_calls = 0
+        self._billed_records = 0
         self._fetch(plan)
 
         staging = self._build_staging(query)
@@ -253,10 +289,10 @@ class Executor:
         scope = self._scope
         return ExecutionResult(
             relation=relation,
-            transactions=ledger.total_transactions - transactions_before,
-            price=ledger.total_price - price_before,
-            calls=ledger.total_calls - calls_before,
-            fetched_records=ledger.total_records - records_before,
+            transactions=self._spent_transactions,
+            price=self._spent_price,
+            calls=self._billed_calls,
+            fetched_records=self._billed_records,
             market_time_ms=self._serial_ms,
             market_time_critical_path_ms=self._critical_path_ms,
             retries=scope.retries,
@@ -265,6 +301,12 @@ class Executor:
             wasted_transactions=scope.wasted_transactions,
             wasted_price=scope.wasted_price,
             failed_fetches=tuple(self._failed_fetches),
+            coalesced_fetches=scope.coalesced_fetches,
+            coalesced_savings_transactions=(
+                scope.coalesced_savings_transactions
+            ),
+            coalesced_savings_price=scope.coalesced_savings_price,
+            covered_skips=scope.covered_skips,
         )
 
     # ------------------------------------------------------------------ fetching
@@ -379,69 +421,100 @@ class Executor:
         constraints = list(self._query.constraints_for(table)) + list(
             extra_constraints
         )
-        rewrite = self.context.rewriter.rewrite(
-            table, constraints, self.context.tuples_per_transaction(table)
-        )
-        # Staleness guard: this rewrite decides what money to spend, so it
-        # must reflect the store *now* — not the epoch the optimizer
-        # planned at (earlier fetches of this very plan mutate the store).
-        # The rewriter's memo keys on the epoch, so this can only trip if
-        # a stale-caching bug is reintroduced somewhere upstream.
-        current_epoch = self.context.store.epoch_of(table)
-        if rewrite.store_epoch != current_epoch:
-            raise ExecutionError(
-                f"stale rewrite for {table!r}: computed at store epoch "
-                f"{rewrite.store_epoch}, executing at {current_epoch}"
+        store = self.context.store
+        table_store = store.table(table)
+        # Rewrite under the table lock: the rewrite decides what money to
+        # spend, so it must reflect the store *now*, and under concurrent
+        # serving other sessions record into this table at any moment.
+        # Holding the lock pins the epoch across rewrite + check, so the
+        # staleness guard below can only trip if a stale-caching bug is
+        # reintroduced somewhere upstream (the rewriter memo keys on the
+        # epoch).
+        with table_store.lock:
+            rewrite = self.context.rewriter.rewrite(
+                table, constraints, self.context.tuples_per_transaction(table)
             )
+            current_epoch = table_store.epoch
+            if rewrite.store_epoch != current_epoch:
+                raise ExecutionError(
+                    f"stale rewrite for {table!r}: computed at store epoch "
+                    f"{rewrite.store_epoch}, executing at {current_epoch}"
+                )
         dataset = self.context.dataset_of(table)
         statistics = self.context.catalog.statistics(table)
         ledger = self.context.market.ledger
-        checkpoint = ledger.checkpoint() if span is not None else 0
-        outcomes = self._issue_market_calls(
-            dataset, table, rewrite.remainder, span
+        self._access_seq += 1
+        access_token = f"{self._query_token}:a{self._access_seq}"
+        checkpoint = ledger.checkpoint()
+        outcomes, lead_flights = self._issue_market_calls(
+            dataset, table, rewrite.remainder, access_token, span
         )
         # Record serially in remainder order: store coverage, histogram
         # feedback, and billing totals end up identical to serial fetch.
         # Only *completed* fetches are recorded — a failed box must never
         # enter the coverage index, or a future query would silently skip
         # buying data it does not have (the store-poisoning hazard).
+        # Coalesced results record too (store dedup and the identical
+        # histogram observation make it idempotent against the leader's
+        # own record) — a waiter must never read the store before its
+        # shared rows are in it.  The whole section holds the table lock:
+        # recording, retiring led flights, and assembling the result rows
+        # are one atomic switch-over from any other session's view.
         failed: list[FailedFetch] = []
         purchased_rows = 0
-        for remainder, outcome in zip(rewrite.remainder, outcomes):
-            if isinstance(outcome, FailedFetch):
-                failed.append(outcome)
-                continue
-            response = outcome.response
-            purchased_rows += response.record_count
-            self.context.store.record(table, remainder.box, response.rows)
-            statistics.histogram.observe(remainder.box, response.record_count)
+        coalescer = self.context.coalescer
+        with table_store.lock:
+            for remainder, outcome in zip(rewrite.remainder, outcomes):
+                if isinstance(outcome, FailedFetch):
+                    failed.append(outcome)
+                    continue
+                if isinstance(outcome, CoveredSkip):
+                    continue
+                response = outcome.response
+                purchased_rows += response.record_count
+                store.record(table, remainder.box, response.rows)
+                statistics.histogram.observe(
+                    remainder.box, response.record_count
+                )
+            if coalescer is not None:
+                for flight in lead_flights:
+                    coalescer.release(flight)
+            columns, row_count = store.columns_in_boxes(
+                table, rewrite.request_boxes
+            )
+        # Token-grounded attribution: exactly the entries this access
+        # billed, no matter how other sessions' entries interleave (the
+        # checkpoint merely bounds the scan).  Per-span totals therefore
+        # still sum exactly to the query's QueryStats.
+        entries = ledger.entries_for_token(access_token, checkpoint)
+        billed_transactions = sum(e.transactions for e in entries)
+        billed_price = sum(e.price for e in entries)
+        wasted_transactions = sum(
+            e.transactions for e in entries if ledger.is_wasted(e)
+        )
+        wasted_price = sum(
+            e.price for e in entries if ledger.is_wasted(e)
+        )
+        self._billed_calls += len(entries)
+        self._billed_records += sum(e.record_count for e in entries)
+        self._spent_transactions += billed_transactions - wasted_transactions
+        self._spent_price += billed_price - wasted_price
         if span is not None:
-            # Ledger-grounded attribution: everything billed between the
-            # checkpoint and now was billed *by this table access* (table
-            # fetches are serial relative to each other), so per-span spent
-            # totals sum exactly to the query's QueryStats.
-            entries = ledger.entries_since(checkpoint)
-            billed_transactions = sum(e.transactions for e in entries)
-            billed_price = sum(e.price for e in entries)
-            wasted_transactions = sum(
-                e.transactions for e in entries if ledger.is_wasted(e)
-            )
-            wasted_price = sum(
-                e.price for e in entries if ledger.is_wasted(e)
-            )
             span.set(
                 calls=len(outcomes),
                 failed_calls=len(failed),
                 retries=sum(
                     max(0, getattr(o.error, "attempts", 0) - 1)
                     if isinstance(o, FailedFetch)
+                    else 0
+                    if isinstance(o, CoveredSkip)
                     else o.retries
                     for o in outcomes
                 ),
                 replays=sum(
                     1
                     for o in outcomes
-                    if not isinstance(o, FailedFetch) and o.replayed
+                    if isinstance(o, FetchResult) and o.replayed
                 ),
                 purchased_rows=purchased_rows,
                 transactions=billed_transactions - wasted_transactions,
@@ -462,10 +535,6 @@ class Executor:
                     failed=tuple(failed),
                 )
             self._failed_fetches.extend(failed)
-
-        columns, row_count = self.context.store.columns_in_boxes(
-            table, rewrite.request_boxes
-        )
         if span is not None:
             span.set(cache_served_rows=max(0, row_count - purchased_rows))
         relation = Relation.from_columns(
@@ -486,18 +555,21 @@ class Executor:
         return relation
 
     def _issue_market_calls(
-        self, dataset, table, remainders, parent_span=None
-    ) -> list:
+        self, dataset, table, remainders, access_token, parent_span=None
+    ) -> tuple[list, list]:
         """Issue the remainder GETs through the transport, concurrently when
         allowed.
 
         Remainder boxes are disjoint and the market is read-only, so the
         calls commute; outcomes come back in request order either way.
-        Each element of the returned list is either a
-        :class:`~repro.market.transport.FetchResult` or a
-        :class:`FailedFetch` — per-call failures are captured rather than
-        raised so sibling successes can still be recorded (the money was
-        spent; keeping the data saves a future re-purchase).
+        Each element of the returned outcome list is a
+        :class:`~repro.market.transport.FetchResult`, a
+        :class:`FailedFetch`, or a :class:`CoveredSkip` — per-call
+        failures are captured rather than raised so sibling successes can
+        still be recorded (the money was spent; keeping the data saves a
+        future re-purchase).  The second return value is the singleflight
+        flights this access *led*; the caller retires them under the
+        table lock once their rows are recorded.
 
         Tracing under concurrency is race-free by construction: worker
         threads only create *detached* ``market_call`` spans (private
@@ -508,10 +580,15 @@ class Executor:
         identically regardless of thread scheduling.
         """
         transport = self.context.transport
+        ledger = self.context.market.ledger
         scope = self._scope
         tracer = self.context.tracer
         tracing = parent_span is not None and tracer.enabled
         metrics = self.context.metrics
+        coalescer = self.context.coalescer
+        table_store = (
+            self.context.store.table(table) if coalescer is not None else None
+        )
         requests = [
             RestRequest(dataset, table, remainder.constraints)
             for remainder in remainders
@@ -521,9 +598,18 @@ class Executor:
         high_water = metrics.gauge("fetch_pool_high_water")
         in_flight_lock = threading.Lock()
         in_flight = 0
+        lead_flights: list = []
+        lead_lock = threading.Lock()
 
-        def issue(request: RestRequest):
+        def fetch_once(request: RestRequest):
+            # The attribution token is thread-local, so it must be entered
+            # on the worker thread actually billing the call.
+            with ledger.attribute(access_token):
+                return transport.fetch(request, scope)
+
+        def issue(item):
             nonlocal in_flight
+            index, request = item
             with in_flight_lock:
                 in_flight += 1
                 high_water.set_max(in_flight)
@@ -534,7 +620,18 @@ class Executor:
             )
             try:
                 try:
-                    outcome = transport.fetch(request, scope)
+                    if coalescer is None:
+                        outcome = fetch_once(request)
+                    else:
+                        outcome = self._coalesced_fetch(
+                            coalescer,
+                            table_store,
+                            remainders[index].box,
+                            request,
+                            fetch_once,
+                            lead_flights,
+                            lead_lock,
+                        )
                 except TransportError as error:
                     outcome = FailedFetch(
                         table=table, request=request, error=error
@@ -551,9 +648,11 @@ class Executor:
             with ThreadPoolExecutor(
                 max_workers=min(limit, len(requests))
             ) as pool:
-                results = list(pool.map(issue, requests))
+                results = list(pool.map(issue, enumerate(requests)))
         else:
-            results = [issue(request) for request in requests]
+            results = [
+                issue(item) for item in enumerate(requests)
+            ]
         outcomes = [outcome for outcome, _ in results]
         if tracing:
             for _, call_span in results:
@@ -562,12 +661,80 @@ class Executor:
         durations = [
             outcome.error.elapsed_ms
             if isinstance(outcome, FailedFetch)
+            else 0.0
+            if isinstance(outcome, CoveredSkip)
             else outcome.elapsed_ms
             for outcome in outcomes
         ]
         self._serial_ms += sum(durations)
         self._critical_path_ms += _makespan(durations, limit)
-        return outcomes
+        return outcomes, lead_flights
+
+    def _coalesced_fetch(
+        self,
+        coalescer,
+        table_store,
+        box,
+        request: RestRequest,
+        fetch_once,
+        lead_flights: list,
+        lead_lock: threading.Lock,
+    ):
+        """One remainder call through the singleflight layer.
+
+        The loop re-establishes, on every iteration, the serving
+        invariant: under the table lock, either the box is covered (free),
+        or a flight exists to join (free), or we lead a new flight (we
+        pay).  A failed leader's waiters come back through here — the
+        flight was deregistered before they woke, so one of them leads a
+        fresh attempt with its own transport retry budget; each query
+        fails at most once as leader per key, so the loop terminates.
+        """
+        scope = self._scope
+        metrics = self.context.metrics
+        ledger = self.context.market.ledger
+        store = self.context.store
+        key = request.url()
+        while True:
+            with table_store.lock:
+                if table_store.is_covered(box, store.policy, store.clock):
+                    scope.note_covered_skip()
+                    return CoveredSkip(request=request)
+                flight, leader = coalescer.begin(key)
+            if leader:
+                try:
+                    result = fetch_once(request)
+                except BaseException as error:
+                    # Deregister BEFORE waiters wake: no waiter may ever be
+                    # served rows from a fetch the market did not bill.
+                    coalescer.abort(flight, error)
+                    raise
+                coalescer.complete(flight, result)
+                with lead_lock:
+                    lead_flights.append(flight)
+                return result
+            waited = time.perf_counter()
+            flight.wait()
+            wait_ms = (time.perf_counter() - waited) * 1000.0
+            if flight.failed:
+                continue
+            shared = flight.result
+            response = shared.response
+            scope.note_coalesced(response.transactions, response.price, wait_ms)
+            ledger.note_coalesced_savings(response.transactions, response.price)
+            metrics.counter("fetch_coalesced").inc()
+            metrics.histogram("fetch_coalesce_wait_us").observe(
+                wait_ms * 1000.0
+            )
+            metrics.counter("dollars_saved_coalescing").inc(response.price)
+            return FetchResult(
+                response=response,
+                attempts=1,
+                elapsed_ms=shared.elapsed_ms,
+                coalesced=True,
+                saved_transactions=response.transactions,
+                saved_price=response.price,
+            )
 
     def _finish_call_span(self, span, outcome) -> None:
         """Stamp one detached ``market_call`` span from its outcome.
@@ -595,6 +762,22 @@ class Executor:
                 wasted_price=error.wasted_price,
                 elapsed_ms=error.elapsed_ms,
             )
+        elif isinstance(outcome, CoveredSkip):
+            span.set(
+                failed=False,
+                covered_skip=True,
+                attempts=0,
+                retries=0,
+                replayed=False,
+                rows=0,
+                transactions=0,
+                price=0.0,
+                billed_transactions=0,
+                billed_price=0.0,
+                wasted_transactions=0,
+                wasted_price=0.0,
+                elapsed_ms=0.0,
+            )
         else:
             span.set(
                 failed=False,
@@ -610,6 +793,12 @@ class Executor:
                 wasted_price=0.0,
                 elapsed_ms=outcome.elapsed_ms,
             )
+            if outcome.coalesced:
+                span.set(
+                    coalesced=True,
+                    saved_transactions=outcome.saved_transactions,
+                    saved_price=outcome.saved_price,
+                )
         span.finish(self.context.tracer.clock())
 
     def _empty_relation(self, table: str) -> Relation:

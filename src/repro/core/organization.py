@@ -17,6 +17,7 @@ An :class:`Organization` wraps one shared PayLess installation:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -41,13 +42,20 @@ class UserSession:
         self.name = name
         self.transactions = 0
         self.queries = 0
+        #: Attribution guard: several threads may run queries as one user
+        #: (and :meth:`Organization.flush` attributes from another thread).
+        self._lock = threading.Lock()
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
         """Run immediately, attributing the spend to this user."""
         result = self.organization.payless.query(sql, params)
-        self.transactions += result.stats.transactions
-        self.queries += 1
+        self._attribute(result)
         return result
+
+    def _attribute(self, result: QueryResult) -> None:
+        with self._lock:
+            self.transactions += result.stats.transactions
+            self.queries += 1
 
     def defer(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Queue for the next organization-wide batch; returns a ticket."""
@@ -67,19 +75,34 @@ class Organization:
         self.payless = payless
         self.name = name
         self._users: dict[str, UserSession] = {}
+        self._users_lock = threading.Lock()
         self._deferred: list[_Deferred] = []
         self._next_ticket = 0
 
     def user(self, name: str) -> UserSession:
         """Get or create the session for ``name``."""
         key = name.lower()
-        if key not in self._users:
-            self._users[key] = UserSession(self, name)
-        return self._users[key]
+        with self._users_lock:
+            if key not in self._users:
+                self._users[key] = UserSession(self, name)
+            return self._users[key]
+
+    def serve(self, config=None) -> "QueryScheduler":
+        """Open the concurrent serving front-end on this installation.
+
+        Returns a started :class:`~repro.serve.scheduler.QueryScheduler`
+        (use it as a context manager); all its sessions share this
+        organization's store, statistics, and plan cache, and overlapping
+        in-flight fetches coalesce when the config enables it.
+        """
+        from repro.serve.scheduler import QueryScheduler
+
+        return QueryScheduler(self.payless, config)
 
     @property
     def users(self) -> list[UserSession]:
-        return list(self._users.values())
+        with self._users_lock:
+            return list(self._users.values())
 
     @property
     def pending_count(self) -> int:
@@ -109,22 +132,21 @@ class Organization:
         )
         results: dict[int, QueryResult] = {}
         for entry, result in zip(deferred, outcome.results):
-            session = self.user(entry.user)
-            session.transactions += result.stats.transactions
-            session.queries += 1
+            self.user(entry.user)._attribute(result)
             results[entry.ticket] = result
         return results
 
     def spend_report(self) -> str:
         """Per-user attribution of the organization's market spend."""
         lines = [f"{self.name}: {self.payless.bill()}"]
-        for session in sorted(self._users.values(), key=lambda s: s.name):
+        users = self.users
+        for session in sorted(users, key=lambda s: s.name):
             lines.append(
                 f"  {session.name}: {session.queries} queries, "
                 f"{session.transactions} transactions"
             )
         unattributed = self.payless.total_transactions - sum(
-            s.transactions for s in self._users.values()
+            s.transactions for s in users
         )
         if unattributed:
             lines.append(f"  (unattributed: {unattributed} transactions)")

@@ -22,6 +22,7 @@ Minimizing-Calls competitor.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
@@ -112,6 +113,14 @@ class QueryStats:
     #: Regions that could not be bought (non-empty only under
     #: ``partial_results``; otherwise the query raises instead).
     failed_fetches: tuple[FailedFetch, ...] = ()
+    #: Singleflight coalescing under concurrent serving (see
+    #: :mod:`repro.serve`): fetches answered by joining another session's
+    #: in-flight call, the bill those avoided, and remainder boxes found
+    #: already covered at issue time.  All zero outside a scheduler.
+    coalesced_fetches: int = 0
+    coalesced_savings_transactions: int = 0
+    coalesced_savings_price: float = 0.0
+    covered_skips: int = 0
     #: Snapshot of the installation's metrics registry taken right after
     #: this query (see :mod:`repro.obs.metrics` for the names).
     metrics: dict = field(default_factory=dict)
@@ -330,6 +339,10 @@ class PayLess:
         self.queries_executed = 0
         #: Per-query history (most recent last); see :class:`QueryLogEntry`.
         self.history: list[QueryLogEntry] = []
+        #: Guards the running totals and the history list: under the
+        #: concurrent serving front-end (:mod:`repro.serve`) many worker
+        #: threads finish queries against this one installation.
+        self._accounting_lock = threading.Lock()
 
     # -- configuration shortcuts -------------------------------------------------
 
@@ -570,10 +583,6 @@ class PayLess:
             if tracing:
                 tracer.end_query()
             raise
-        self.total_transactions += execution.transactions
-        self.total_price += execution.price
-        self.total_calls += execution.calls
-        self.queries_executed += 1
         from repro.core.plans import JoinNode
 
         def _has_bind(node) -> bool:
@@ -581,16 +590,21 @@ class PayLess:
                 return node.bind or _has_bind(node.left) or _has_bind(node.right)
             return False
 
-        self.history.append(
-            QueryLogEntry(
-                sequence=self.queries_executed,
-                sql_tables=tuple(logical.tables),
-                transactions=execution.transactions,
-                calls=execution.calls,
-                evaluated_plans=planning.evaluated_plans,
-                used_bind_join=_has_bind(planning.plan),
+        with self._accounting_lock:
+            self.total_transactions += execution.transactions
+            self.total_price += execution.price
+            self.total_calls += execution.calls
+            self.queries_executed += 1
+            self.history.append(
+                QueryLogEntry(
+                    sequence=self.queries_executed,
+                    sql_tables=tuple(logical.tables),
+                    transactions=execution.transactions,
+                    calls=execution.calls,
+                    evaluated_plans=planning.evaluated_plans,
+                    used_bind_join=_has_bind(planning.plan),
+                )
             )
-        )
         trace = tracer.end_query() if tracing else None
         metrics = self.metrics
         metrics.counter("queries").inc()
@@ -625,6 +639,12 @@ class PayLess:
                 wasted_transactions=execution.wasted_transactions,
                 wasted_price=execution.wasted_price,
                 failed_fetches=execution.failed_fetches,
+                coalesced_fetches=execution.coalesced_fetches,
+                coalesced_savings_transactions=(
+                    execution.coalesced_savings_transactions
+                ),
+                coalesced_savings_price=execution.coalesced_savings_price,
+                covered_skips=execution.covered_skips,
                 metrics=metrics.snapshot(),
             ),
         )

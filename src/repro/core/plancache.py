@@ -37,6 +37,7 @@ Bounded LRU; ``OptimizerOptions.plan_cache_size`` sets the capacity and
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
@@ -81,6 +82,10 @@ class PlanCache:
         self._tracer = tracer
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
         self._parsed: OrderedDict[str, SelectStatement] = OrderedDict()
+        #: Guards both LRU maps and the counters.  Validation probes the
+        #: store's per-table locks from inside (cache lock -> table lock is
+        #: the allowed order; the store never calls back into the cache).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -100,8 +105,9 @@ class PlanCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._parsed.clear()
+        with self._lock:
+            self._entries.clear()
+            self._parsed.clear()
 
     # ------------------------------------------------------------------- keys
 
@@ -114,14 +120,16 @@ class PlanCache:
         """
         if not self.enabled:
             return parse(sql)
-        statement = self._parsed.get(sql)
-        if statement is None:
-            statement = parse(sql)
+        with self._lock:
+            statement = self._parsed.get(sql)
+            if statement is not None:
+                self._parsed.move_to_end(sql)
+                return statement
+        statement = parse(sql)
+        with self._lock:
             self._parsed[sql] = statement
             while len(self._parsed) > self.capacity:
                 self._parsed.popitem(last=False)
-        else:
-            self._parsed.move_to_end(sql)
         return statement
 
     @staticmethod
@@ -155,22 +163,25 @@ class PlanCache:
         """Return a *valid* entry for ``key``, or record a miss."""
         if key is None or not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is not None and not self._valid(entry):
-            del self._entries[key]
-            self.invalidations += 1
-            if self._metrics is not None:
-                self._metrics.counter("plan_cache_invalidations").inc()
-            entry = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and not self._valid(entry):
+                del self._entries[key]
+                self.invalidations += 1
+                if self._metrics is not None:
+                    self._metrics.counter("plan_cache_invalidations").inc()
+                entry = None
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.hits += 1
         if entry is None:
-            self.misses += 1
             if self._metrics is not None:
                 self._metrics.counter("plan_cache_misses").inc()
             self._event(hit=False)
             return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self.hits += 1
         if self._metrics is not None:
             self._metrics.counter("plan_cache_hits").inc()
         self._event(hit=True)
@@ -190,18 +201,19 @@ class PlanCache:
                 if store.has_table(name)
             )
         )
-        self._entries[key] = CacheEntry(
-            logical=logical,
-            planning=planning,
-            epochs=epochs,
-            clock=store.clock,
-        )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if self._metrics is not None:
-                self._metrics.counter("plan_cache_evictions").inc()
+        with self._lock:
+            self._entries[key] = CacheEntry(
+                logical=logical,
+                planning=planning,
+                epochs=epochs,
+                clock=store.clock,
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.counter("plan_cache_evictions").inc()
 
     def _valid(self, entry: CacheEntry) -> bool:
         if self._store.clock != entry.clock:

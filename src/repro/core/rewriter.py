@@ -25,6 +25,7 @@ cover always exists.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -113,6 +114,13 @@ class SemanticRewriter:
         #: Algorithm 1 pruning switch — the "No Pruning" arm of Figure 15.
         self.prune = prune
         self._memo: dict[tuple, RewriteResult] = {}
+        #: Guards only the memo dict and hit/miss counters.  The rewrite
+        #: computation itself runs *outside* this lock: it probes the store
+        #: (which takes the per-table lock), and an executor holding the
+        #: table lock may call ``rewrite`` — holding the memo lock across
+        #: the compute would deadlock.  Concurrent duplicate computes are
+        #: idempotent and last-write-wins into the memo.
+        self._memo_lock = threading.Lock()
         #: Memoization observability (asserted by tests, shown in benches).
         self.cache_hits = 0
         self.cache_misses = 0
@@ -153,15 +161,18 @@ class SemanticRewriter:
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         if key is not None:
-            cached = self._memo.get(key)
+            with self._memo_lock:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
             if cached is not None:
-                self.cache_hits += 1
                 if tracing:
                     tracer.event("memo", table=table, hit=True)
                 if self.metrics is not None:
                     self.metrics.counter("memo_hits").inc()
                 return cached
-        self.cache_misses += 1
+        with self._memo_lock:
+            self.cache_misses += 1
         if tracing:
             tracer.event("memo", table=table, hit=False)
             with tracer.span("rewrite", table=table) as span:
@@ -185,9 +196,10 @@ class SemanticRewriter:
                 self.metrics.counter("rewrites_covered").inc()
         result.store_epoch = epoch
         if key is not None:
-            if len(self._memo) >= self.MEMO_CAP:
-                self._memo.clear()
-            self._memo[key] = result
+            with self._memo_lock:
+                if len(self._memo) >= self.MEMO_CAP:
+                    self._memo.clear()
+                self._memo[key] = result
         return result
 
     def _rewrite_uncached(

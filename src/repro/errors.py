@@ -103,6 +103,16 @@ class MarketUnavailableError(TransportError):
         self.failed = failed
 
 
+class AdmissionError(ReproError):
+    """The serving front-end refused a query (queue full, scheduler closed).
+
+    Raised by :class:`~repro.serve.scheduler.QueryScheduler` when the
+    bounded pending queue stayed full past the admission timeout, or when
+    a query is submitted to a closed scheduler.  Backpressure, not a bug:
+    the caller should slow down or retry later.
+    """
+
+
 class PlanningError(ReproError):
     """The optimizer could not produce a feasible plan for a query."""
 

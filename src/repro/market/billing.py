@@ -15,11 +15,26 @@ Money-safety (see :mod:`repro.market.transport`) splits the bill in two:
   response, a naive retry double-billing without an idempotency key).
   The transport moves an entry here via :meth:`BillingLedger.mark_wasted`
   when it gives up on the entry's idempotency key.
+
+A third, informational bucket — **coalesced_savings** — accumulates the
+charges that singleflight coalescing (:mod:`repro.serve.singleflight`)
+avoided: when an in-flight fetch is shared, the waiters' would-have-been
+bills land here instead of in ``spent``.
+
+**Attribution under concurrency.**  Dollar attribution used to bracket
+each table access with a ``checkpoint()`` index pair and claim everything
+recorded in between.  That is only sound when accesses are serial; with
+many sessions billing through one ledger, entries interleave.  Each
+executor therefore stamps its calls with an explicit *fetch token*: it
+wraps the transport call in :meth:`BillingLedger.attribute` (thread-local,
+so concurrent sessions cannot leak tokens onto each other's entries) and
+reads back exactly its own entries via :meth:`entries_for_token`.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -39,6 +54,10 @@ class LedgerEntry:
     elapsed_ms: float = 0.0
     #: The transport's at-most-once billing key, when one was attached.
     idempotency_key: str | None = None
+    #: The executor-side attribution token active when this entry was
+    #: billed (see :meth:`BillingLedger.attribute`); ``None`` for calls
+    #: issued outside any attribution scope (baselines, raw market use).
+    fetch_token: str | None = None
 
 
 @dataclass(frozen=True)
@@ -65,6 +84,26 @@ class BillingLedger:
         self._entries: list[LedgerEntry] = []
         self._wasted_keys: set[str] = set()
         self._lock = threading.Lock()
+        self._local = threading.local()
+        self._coalesced_calls = 0
+        self._coalesced_transactions = 0
+        self._coalesced_price = 0.0
+
+    @contextmanager
+    def attribute(self, fetch_token: str | None):
+        """Stamp every entry billed by *this thread* with ``fetch_token``.
+
+        Thread-local by construction: concurrent sessions billing through
+        one ledger each see only their own token, so
+        :meth:`entries_for_token` partitions interleaved entries exactly —
+        the concurrency-safe replacement for checkpoint/index bracketing.
+        """
+        previous = getattr(self._local, "token", None)
+        self._local.token = fetch_token
+        try:
+            yield
+        finally:
+            self._local.token = previous
 
     def record(
         self,
@@ -82,6 +121,7 @@ class BillingLedger:
             price,
             elapsed_ms,
             idempotency_key,
+            getattr(self._local, "token", None),
         )
         with self._lock:
             self._entries.append(entry)
@@ -90,8 +130,10 @@ class BillingLedger:
     def checkpoint(self) -> int:
         """An opaque position marker for :meth:`entries_since`.
 
-        The trace layer brackets each table access with a checkpoint pair
-        to attribute every billed entry to exactly one fetch span.
+        Under concurrency a checkpoint pair may bracket other sessions'
+        entries too; filter with :meth:`entries_for_token` (the checkpoint
+        then merely bounds the scan, since a token's entries can only
+        appear after the checkpoint its access opened with).
         """
         with self._lock:
             return len(self._entries)
@@ -100,6 +142,36 @@ class BillingLedger:
         """Entries recorded since ``checkpoint`` (append-only, so stable)."""
         with self._lock:
             return tuple(self._entries[checkpoint:])
+
+    def entries_for_token(
+        self, fetch_token: str, checkpoint: int = 0
+    ) -> tuple[LedgerEntry, ...]:
+        """Entries billed under ``fetch_token``, optionally scan-bounded.
+
+        This is the interleaving-safe attribution primitive: entries from
+        other threads recorded between an access's bracketing checkpoints
+        carry different tokens and are excluded.
+        """
+        with self._lock:
+            window = self._entries[checkpoint:]
+        return tuple(e for e in window if e.fetch_token == fetch_token)
+
+    def note_coalesced_savings(self, transactions: int, price: float) -> None:
+        """Credit the savings bucket: a coalesced fetch avoided this bill."""
+        with self._lock:
+            self._coalesced_calls += 1
+            self._coalesced_transactions += transactions
+            self._coalesced_price += price
+
+    @property
+    def coalesced_savings(self) -> ChargeTotals:
+        """Charges singleflight coalescing avoided (informational bucket)."""
+        with self._lock:
+            return ChargeTotals(
+                self._coalesced_calls,
+                self._coalesced_transactions,
+                self._coalesced_price,
+            )
 
     def mark_wasted(self, idempotency_key: str) -> None:
         """Reclassify the entry billed under ``idempotency_key`` as wasted.
@@ -123,12 +195,17 @@ class BillingLedger:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[LedgerEntry]:
-        return iter(self._entries)
+        return iter(self._snapshot())
+
+    def _snapshot(self) -> list[LedgerEntry]:
+        """A stable view for aggregate reads concurrent with appends."""
+        with self._lock:
+            return list(self._entries)
 
     def _totals(self, wasted: bool) -> ChargeTotals:
         calls = transactions = 0
         price = 0.0
-        for entry in self._entries:
+        for entry in self._snapshot():
             if self.is_wasted(entry) is not wasted:
                 continue
             calls += 1
@@ -153,14 +230,14 @@ class BillingLedger:
 
     @property
     def total_records(self) -> int:
-        return sum(entry.record_count for entry in self._entries)
+        return sum(entry.record_count for entry in self._snapshot())
 
     @property
     def total_transactions(self) -> int:
         """Transactions *spent* (wasted charges are reported separately)."""
         return sum(
             entry.transactions
-            for entry in self._entries
+            for entry in self._snapshot()
             if not self.is_wasted(entry)
         )
 
@@ -168,19 +245,21 @@ class BillingLedger:
     def total_price(self) -> float:
         """Money *spent* (wasted charges are reported separately)."""
         return sum(
-            entry.price for entry in self._entries if not self.is_wasted(entry)
+            entry.price
+            for entry in self._snapshot()
+            if not self.is_wasted(entry)
         )
 
     @property
     def total_elapsed_ms(self) -> float:
         """Simulated wall-clock spent on billed REST calls, summed serially."""
-        return sum(entry.elapsed_ms for entry in self._entries)
+        return sum(entry.elapsed_ms for entry in self._snapshot())
 
     def transactions_for_dataset(self, dataset: str) -> int:
         wanted = dataset.lower()
         return sum(
             entry.transactions
-            for entry in self._entries
+            for entry in self._snapshot()
             if entry.request.dataset.lower() == wanted
             and not self.is_wasted(entry)
         )
@@ -188,7 +267,7 @@ class BillingLedger:
     def summary(self) -> str:
         """A short human-readable bill."""
         per_dataset: dict[str, tuple[int, int, float]] = {}
-        for entry in self._entries:
+        for entry in self._snapshot():
             if self.is_wasted(entry):
                 continue
             calls, transactions, price = per_dataset.get(
@@ -212,5 +291,11 @@ class BillingLedger:
             lines.append(
                 f"WASTED on failures: {wasted.calls} calls, "
                 f"{wasted.transactions} transactions, ${wasted.price:g}"
+            )
+        saved = self.coalesced_savings
+        if saved:
+            lines.append(
+                f"SAVED by coalescing: {saved.calls} shared fetches, "
+                f"{saved.transactions} transactions, ${saved.price:g}"
             )
         return "\n".join(lines)

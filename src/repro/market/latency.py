@@ -24,10 +24,19 @@ class LatencyModel:
     round_trip_ms: float = 150.0
     #: Transfer time per transaction page of results.
     per_transaction_ms: float = 25.0
+    #: When positive, the market actually *sleeps* ``call_ms * scale`` of
+    #: real wall-clock per call instead of only accounting it.  ``0``
+    #: (the default) keeps everything simulated and instant.  Real sleeps
+    #: exist for the concurrent-serving path: thread-level speedup and
+    #: singleflight wait coalescing are only measurable when calls block
+    #: for real (``benchmarks/bench_concurrency.py``).
+    realtime_scale: float = 0.0
 
     def __post_init__(self) -> None:
         if self.round_trip_ms < 0 or self.per_transaction_ms < 0:
             raise MarketError("latency components cannot be negative")
+        if self.realtime_scale < 0:
+            raise MarketError("realtime_scale cannot be negative")
 
     def call_ms(self, transactions: int) -> float:
         """Simulated wall-clock of one call returning ``transactions`` pages."""

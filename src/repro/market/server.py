@@ -15,6 +15,7 @@ the restrictions of the real marketplace interface:
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterator
 
 from repro.errors import MarketError
@@ -116,6 +117,12 @@ class DataMarket:
         transactions = dataset.pricing.transactions_for(len(rows))
         price = dataset.pricing.price_for(len(rows))
         elapsed_ms = self.latency.call_ms(transactions)
+        if self.latency.realtime_scale:
+            # Real-time mode: block the calling thread for (a scaled-down
+            # slice of) the modelled latency, so concurrent serving has a
+            # genuine wait to overlap and coalesce.  Replays above stay
+            # instant, mirroring a gateway cache hit.
+            time.sleep(elapsed_ms * self.latency.realtime_scale / 1000.0)
         self.ledger.record(
             request,
             len(rows),

@@ -197,6 +197,16 @@ class QueryScope:
         self.wasted_transactions = 0
         self.wasted_price = 0.0
         self.backoff_ms = 0.0
+        #: Singleflight accounting (see :mod:`repro.serve.singleflight`):
+        #: fetches this query rode for free on another session's in-flight
+        #: call, what they would have billed, and the real time waited.
+        self.coalesced_fetches = 0
+        self.coalesced_savings_transactions = 0
+        self.coalesced_savings_price = 0.0
+        self.coalesce_wait_ms = 0.0
+        #: Remainder boxes found already covered at issue time (another
+        #: session recorded them between our rewrite and our fetch).
+        self.covered_skips = 0
         self._lock = threading.Lock()
 
     def consume_retry(self) -> bool:
@@ -231,6 +241,19 @@ class QueryScope:
             self.wasted_transactions += transactions
             self.wasted_price += price
 
+    def note_coalesced(
+        self, transactions: int, price: float, wait_ms: float
+    ) -> None:
+        with self._lock:
+            self.coalesced_fetches += 1
+            self.coalesced_savings_transactions += transactions
+            self.coalesced_savings_price += price
+            self.coalesce_wait_ms += wait_ms
+
+    def note_covered_skip(self) -> None:
+        with self._lock:
+            self.covered_skips += 1
+
 
 @dataclass(frozen=True)
 class FetchResult:
@@ -252,6 +275,12 @@ class FetchResult:
     #: bill more.  Traces attribute every ledger dollar through these.
     billed_transactions: int = 0
     billed_price: float = 0.0
+    #: True when this result was shared from another session's in-flight
+    #: fetch of the same key (singleflight): nothing was billed to this
+    #: caller, and ``saved_*`` record the avoided bill.
+    coalesced: bool = False
+    saved_transactions: int = 0
+    saved_price: float = 0.0
 
     @property
     def retries(self) -> int:

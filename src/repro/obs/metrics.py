@@ -32,6 +32,12 @@ Metric names used by the pipeline:
                                    clock change
 ``plan_cache_evictions``           counter — entries dropped by LRU
 ``planning_us``                    histogram — planning wall-clock, µs
+``fetch_coalesced``                counter — market fetches answered by
+                                   joining another session's in-flight call
+``fetch_coalesce_wait_us``         histogram — waiter wall-clock until the
+                                   leader's response arrived, µs
+``dollars_saved_coalescing``       counter — market dollars the coalesced
+                                   fetches would have cost
 =================================  ==========================================
 
 Derived ratios (memo hit rate, store coverage ratio, plan-cache hit

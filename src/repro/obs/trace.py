@@ -21,7 +21,10 @@ span kind            what it covers / key attributes
                      ``attempts``, ``retries``, ``replayed``, ``rows``,
                      ``transactions``, ``price``, ``billed_transactions``,
                      ``billed_price``, ``wasted_transactions``,
-                     ``wasted_price``, ``failed``, ``elapsed_ms`` (simulated)
+                     ``wasted_price``, ``failed``, ``elapsed_ms`` (simulated);
+                     coalesced waiters add ``coalesced``,
+                     ``saved_transactions``, ``saved_price``; issue-time
+                     coverage skips add ``covered_skip``
 ``stage``            staging one table into the local DBMS; ``table``, ``rows``
 ``local_eval``       the final local evaluation; ``output_rows``
 ===================  ==========================================================
@@ -213,6 +216,9 @@ class Tracer:
         #: How many completed traces to retain.
         self.keep = keep
         self._local = threading.local()
+        #: Guards the shared ``traces`` ring only — per-thread span stacks
+        #: need no lock, but concurrent sessions all archive here.
+        self._traces_lock = threading.Lock()
 
     # -- trace lifecycle -------------------------------------------------------
 
@@ -249,9 +255,10 @@ class Tracer:
             if not span.finished:
                 span.finish(self.clock())
         self._local.trace = None
-        self.traces.append(trace)
-        if len(self.traces) > self.keep:
-            del self.traces[: len(self.traces) - self.keep]
+        with self._traces_lock:
+            self.traces.append(trace)
+            if len(self.traces) > self.keep:
+                del self.traces[: len(self.traces) - self.keep]
         return trace
 
     @property

@@ -24,6 +24,7 @@ the rewriter keys its memoization on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -64,9 +65,17 @@ class TableStore:
         self.space = space
         self.schema = schema
         self.debug_bruteforce = debug_bruteforce
+        #: Per-table concurrency guard.  Every public mutation and probe
+        #: takes it, so grid/point indexes never tear under concurrent
+        #: sessions; it is an RLock so an executor holding it for a
+        #: rewrite-record-assemble critical section can still call the
+        #: probes.  Lock order (see DESIGN.md): a table lock may be held
+        #: while entering the singleflight registry, never the reverse.
+        self.lock = threading.RLock()
         #: Monotonically increasing mutation counter.  Anything derived
         #: from store state (rewrite results, coverage verdicts) is valid
-        #: only for the epoch it was computed at.
+        #: only for the epoch it was computed at.  Bumps happen under
+        #: :attr:`lock`, so an epoch read inside the lock is exact.
         self.epoch: int = 0
         grid_extents = tuple(d.full_extent for d in space.dimensions)
         self._covers: dict[int, CoveredBox] = {}
@@ -85,7 +94,8 @@ class TableStore:
     @property
     def covered(self) -> list[CoveredBox]:
         """Covered regions in insertion order (read-only snapshot)."""
-        return list(self._covers.values())
+        with self.lock:
+            return list(self._covers.values())
 
     @property
     def covered_count(self) -> int:
@@ -95,47 +105,55 @@ class TableStore:
 
     def record(self, box: Box, rows: Iterable[Row], stored_at: float) -> int:
         """Store a fetched region; returns how many rows were new."""
-        self.epoch += 1
-        new = 0
-        count = 0
-        for row in rows:
-            count += 1
-            if row not in self._row_set:
-                self._row_set.add(row)
-                self._point_index_insert(row)
-                new += 1
-        # Consolidate the coverage set: a region subsumed by an
-        # equally-fresh cover adds nothing, and covers subsumed by this
-        # fresher region can be dropped.  Containment implies overlap, so
-        # the grid index narrows both checks to overlapping covers only.
-        candidate_ids = self._overlapping_cover_ids(box)
-        for cover_id in candidate_ids:
-            existing = self._covers[cover_id]
-            if existing.stored_at >= stored_at and existing.box.contains_box(box):
-                return new
-        for cover_id in candidate_ids:
-            existing = self._covers[cover_id]
-            if existing.stored_at <= stored_at and box.contains_box(existing.box):
-                del self._covers[cover_id]
-                self._cover_index.remove(cover_id)
-        self._append_cover(
-            CoveredBox(box=box, stored_at=stored_at, row_count=count)
-        )
-        return new
+        with self.lock:
+            self.epoch += 1
+            new = 0
+            count = 0
+            for row in rows:
+                count += 1
+                if row not in self._row_set:
+                    self._row_set.add(row)
+                    self._point_index_insert(row)
+                    new += 1
+            # Consolidate the coverage set: a region subsumed by an
+            # equally-fresh cover adds nothing, and covers subsumed by this
+            # fresher region can be dropped.  Containment implies overlap,
+            # so the grid index narrows both checks to overlapping covers
+            # only.
+            candidate_ids = self._overlapping_cover_ids(box)
+            for cover_id in candidate_ids:
+                existing = self._covers[cover_id]
+                if existing.stored_at >= stored_at and existing.box.contains_box(
+                    box
+                ):
+                    return new
+            for cover_id in candidate_ids:
+                existing = self._covers[cover_id]
+                if existing.stored_at <= stored_at and box.contains_box(
+                    existing.box
+                ):
+                    del self._covers[cover_id]
+                    self._cover_index.remove(cover_id)
+            self._append_cover(
+                CoveredBox(box=box, stored_at=stored_at, row_count=count)
+            )
+            return new
 
     def restore_cover(self, covered: CoveredBox) -> None:
         """Re-insert a persisted cover verbatim (no re-consolidation)."""
-        self.epoch += 1
-        self._append_cover(covered)
+        with self.lock:
+            self.epoch += 1
+            self._append_cover(covered)
 
     def restore_row(self, row: Row) -> bool:
         """Re-insert a persisted row; returns whether it was new."""
-        if row in self._row_set:
-            return False
-        self.epoch += 1
-        self._row_set.add(row)
-        self._point_index_insert(row)
-        return True
+        with self.lock:
+            if row in self._row_set:
+                return False
+            self.epoch += 1
+            self._row_set.add(row)
+            self._point_index_insert(row)
+            return True
 
     def _append_cover(self, covered: CoveredBox) -> None:
         cover_id = self._next_cover_id
@@ -175,11 +193,12 @@ class TableStore:
         """Covered boxes still reusable under ``policy`` at clock ``now``."""
         if not policy.rewriting_enabled:
             return []
-        return [
-            covered.box
-            for covered in self._covers.values()
-            if policy.is_fresh(covered.stored_at, now)
-        ]
+        with self.lock:
+            return [
+                covered.box
+                for covered in self._covers.values()
+                if policy.is_fresh(covered.stored_at, now)
+            ]
 
     def remainder(
         self, query: Box, policy: ConsistencyPolicy, now: float
@@ -187,53 +206,57 @@ class TableStore:
         """Elementary boxes of the part of ``query`` that must be fetched."""
         if not policy.rewriting_enabled:
             return [query]
-        return remainder_decomposition(
-            query, self._fresh_overlapping_covers(query, policy, now)
-        )
+        with self.lock:
+            return remainder_decomposition(
+                query, self._fresh_overlapping_covers(query, policy, now)
+            )
 
     def is_covered(
         self, query: Box, policy: ConsistencyPolicy, now: float
     ) -> bool:
         if not policy.rewriting_enabled:
             return False
-        return covers_fully(
-            query, self._fresh_overlapping_covers(query, policy, now)
-        )
+        with self.lock:
+            return covers_fully(
+                query, self._fresh_overlapping_covers(query, policy, now)
+            )
 
     # -- row assembly ----------------------------------------------------------
 
     def rows_in_box(self, box: Box) -> list[Row]:
         """Cached rows whose grid point lies inside ``box``."""
-        if self.debug_bruteforce:
+        with self.lock:
+            if self.debug_bruteforce:
+                return [
+                    row
+                    for row, point in zip(self._rows, self._points)
+                    if point is not None and box.contains_point(point)
+                ]
+            rows = self._rows
+            points = self._points
+            contains = box.contains_point
             return [
-                row
-                for row, point in zip(self._rows, self._points)
-                if point is not None and box.contains_point(point)
+                rows[row_id]
+                for row_id in sorted(self._point_index.candidates(box))
+                if contains(points[row_id])
             ]
-        rows = self._rows
-        points = self._points
-        contains = box.contains_point
-        return [
-            rows[row_id]
-            for row_id in sorted(self._point_index.candidates(box))
-            if contains(points[row_id])
-        ]
 
     def rows_in_boxes(self, boxes: Sequence[Box]) -> list[Row]:
         """Cached rows inside the union of ``boxes`` (boxes must be disjoint)."""
         if not boxes:
             return []
-        if self.debug_bruteforce:
-            return self._rows_in_boxes_bruteforce(boxes)
-        points = self._points
-        selected: set[int] = set()
-        for box in boxes:
-            contains = box.contains_point
-            for row_id in self._point_index.candidates(box):
-                if row_id not in selected and contains(points[row_id]):
-                    selected.add(row_id)
-        rows = self._rows
-        return [rows[row_id] for row_id in sorted(selected)]
+        with self.lock:
+            if self.debug_bruteforce:
+                return self._rows_in_boxes_bruteforce(boxes)
+            points = self._points
+            selected: set[int] = set()
+            for box in boxes:
+                contains = box.contains_point
+                for row_id in self._point_index.candidates(box):
+                    if row_id not in selected and contains(points[row_id]):
+                        selected.add(row_id)
+            rows = self._rows
+            return [rows[row_id] for row_id in sorted(selected)]
 
     def _rows_in_boxes_bruteforce(self, boxes: Sequence[Box]) -> list[Row]:
         """The pre-index scan, kept as the equivalence-test oracle.

@@ -1,0 +1,25 @@
+"""Concurrent multi-tenant serving of one shared PayLess installation.
+
+* :mod:`repro.serve.scheduler` — the thread-pool front-end
+  (:class:`~repro.serve.scheduler.QueryScheduler`,
+  :class:`~repro.serve.scheduler.ServeSession`, admission control).
+* :mod:`repro.serve.singleflight` — coalescing of overlapping in-flight
+  market fetches (one bill, shared rows).
+"""
+
+from repro.serve.scheduler import (
+    QueryScheduler,
+    QueryTicket,
+    ServeConfig,
+    ServeSession,
+)
+from repro.serve.singleflight import Flight, SingleflightGroup
+
+__all__ = [
+    "Flight",
+    "QueryScheduler",
+    "QueryTicket",
+    "ServeConfig",
+    "ServeSession",
+    "SingleflightGroup",
+]

@@ -1,0 +1,350 @@
+"""The concurrent serving front-end: many sessions, one installation.
+
+The paper's deployment unit is one PayLess installation per buyer
+organization, shared by all of its end users (Section 3); the conclusion
+explicitly plans for "many end users using PayLess simultaneously".  This
+module is that serving layer: a :class:`QueryScheduler` runs queries from
+many :class:`ServeSession` handles on a thread pool against one shared
+:class:`~repro.core.payless.PayLess`, with
+
+* **singleflight coalescing** — overlapping in-flight fetches of one
+  remainder box bill exactly one market call
+  (:mod:`repro.serve.singleflight`), wired onto the installation's
+  planning context when :attr:`ServeConfig.coalesce` is on;
+* **fairness / admission control** — per-session ``max_inflight`` (one
+  chatty tenant cannot occupy every worker), FIFO dispatch within a
+  session, and a bounded pending queue whose overflow blocks submitters
+  (backpressure) until :attr:`ServeConfig.admission_timeout_s` runs out,
+  then raises :class:`~repro.errors.AdmissionError`;
+* **per-session attribution** — spend, coalesced savings, and query
+  counts per tenant, summing exactly to the installation's totals (each
+  query's stats are token-attributed in the executor, so concurrent
+  sessions never steal each other's dollars).
+
+Usage::
+
+    with QueryScheduler(payless, ServeConfig(workers=8)) as scheduler:
+        alice = scheduler.session("alice")
+        ticket = alice.submit(sql, params)   # async
+        result = ticket.result()             # or alice.query(...) sync
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.payless import PayLess, QueryResult
+from repro.errors import AdmissionError, MarketError
+from repro.serve.singleflight import SingleflightGroup
+
+_TICKET_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every knob of the serving front-end."""
+
+    #: Worker threads executing queries.
+    workers: int = 4
+    #: Pending bound: submitted-but-unfinished tickets across all
+    #: sessions.  Submitters past it block (backpressure) and then fail.
+    max_queue: int = 256
+    #: Queries of one session allowed to execute concurrently; further
+    #: submissions of that session queue in FIFO order behind them.
+    session_max_inflight: int = 2
+    #: How long a submitter may block on a full queue before
+    #: :class:`~repro.errors.AdmissionError` (``None`` = wait forever).
+    admission_timeout_s: float | None = 30.0
+    #: Coalesce overlapping in-flight market fetches (singleflight).
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise MarketError("workers must be >= 1")
+        if self.max_queue < 1:
+            raise MarketError("max_queue must be >= 1")
+        if self.session_max_inflight < 1:
+            raise MarketError("session_max_inflight must be >= 1")
+        if (
+            self.admission_timeout_s is not None
+            and self.admission_timeout_s < 0
+        ):
+            raise MarketError("admission_timeout_s cannot be negative")
+
+
+class QueryTicket:
+    """A submitted query's future: block on :meth:`result`."""
+
+    __slots__ = (
+        "ticket_id",
+        "session_name",
+        "sql",
+        "params",
+        "_event",
+        "_result",
+        "_error",
+    )
+
+    def __init__(self, session_name: str, sql: str, params: tuple):
+        self.ticket_id = next(_TICKET_IDS)
+        self.session_name = session_name
+        self.sql = sql
+        self.params = params
+        self._event = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Wait for the query; re-raises whatever the query raised."""
+        if not self._event.wait(timeout):
+            raise AdmissionError(
+                f"ticket #{self.ticket_id} ({self.session_name}) not done "
+                f"after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (
+            f"QueryTicket(#{self.ticket_id}, {self.session_name!r}, {state})"
+        )
+
+
+class ServeSession:
+    """One tenant's handle onto the scheduler: submit + attribution."""
+
+    def __init__(self, scheduler: "QueryScheduler", name: str):
+        self.scheduler = scheduler
+        self.name = name
+        #: FIFO of admitted-but-not-dispatched tickets of this session.
+        self._waiting: deque[QueryTicket] = deque()
+        #: Queries of this session currently on a worker.
+        self._inflight = 0
+        #: Attribution (guarded by the scheduler's lock).
+        self.queries = 0
+        self.failures = 0
+        self.transactions = 0
+        self.price = 0.0
+        self.coalesced_fetches = 0
+        self.coalesced_savings_price = 0.0
+
+    def submit(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> QueryTicket:
+        """Enqueue a query; returns immediately with its ticket."""
+        return self.scheduler.submit(self, sql, params)
+
+    def query(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """Submit and wait — the synchronous convenience."""
+        return self.submit(sql, params).result()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeSession({self.name!r}, {self.queries} queries, "
+            f"{self.transactions} trans., "
+            f"{self.coalesced_fetches} coalesced)"
+        )
+
+
+class QueryScheduler:
+    """Thread-pool serving of one shared installation (see module doc)."""
+
+    def __init__(
+        self, payless: PayLess, config: ServeConfig | None = None
+    ):
+        self.payless = payless
+        self.config = config or ServeConfig()
+        #: Wire (or unwire) the singleflight layer onto the shared
+        #: planning context; the executor picks it up per table access.
+        self.coalescer = (
+            SingleflightGroup(metrics=payless.metrics)
+            if self.config.coalesce
+            else None
+        )
+        payless.context.coalescer = self.coalescer
+        self._sessions: dict[str, ServeSession] = {}
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        #: Tickets ready to run, in dispatch (FIFO) order.
+        self._ready: deque[tuple[ServeSession, QueryTicket]] = deque()
+        #: Submitted-but-unfinished tickets (waiting + ready + running).
+        self._outstanding = 0
+        self._closed = False
+        self.completed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"payless-serve-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- sessions -------------------------------------------------------------
+
+    def session(self, name: str) -> ServeSession:
+        """Get or create the serving session for ``name``."""
+        key = name.lower()
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = self._sessions[key] = ServeSession(self, name)
+            return session
+
+    @property
+    def sessions(self) -> list[ServeSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    # -- submission / dispatch ------------------------------------------------
+
+    def submit(
+        self,
+        session: ServeSession,
+        sql: str,
+        params: Sequence[Any] = (),
+    ) -> QueryTicket:
+        ticket = QueryTicket(session.name, sql, tuple(params))
+        timeout = self.config.admission_timeout_s
+        with self._work:
+            while (
+                not self._closed
+                and self._outstanding >= self.config.max_queue
+            ):
+                if not self._work.wait(timeout):
+                    raise AdmissionError(
+                        f"queue full ({self.config.max_queue} outstanding) "
+                        f"for {timeout}s; query of {session.name!r} refused"
+                    )
+            if self._closed:
+                raise AdmissionError("scheduler is closed")
+            self._outstanding += 1
+            session._waiting.append(ticket)
+            self._dispatch_locked(session)
+        return ticket
+
+    def _dispatch_locked(self, session: ServeSession) -> None:
+        """Move this session's waiting tickets to the ready queue while it
+        is under its in-flight cap.  Caller holds the lock."""
+        moved = False
+        while (
+            session._waiting
+            and session._inflight < self.config.session_max_inflight
+        ):
+            self._ready.append((session, session._waiting.popleft()))
+            session._inflight += 1
+            moved = True
+        if moved:
+            self._work.notify_all()
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._work:
+                while not self._ready and not self._closed:
+                    self._work.wait()
+                if self._closed and not self._ready:
+                    return
+                session, ticket = self._ready.popleft()
+            try:
+                result = self.payless.query(ticket.sql, ticket.params)
+            except BaseException as error:  # noqa: BLE001 - relayed to waiter
+                ticket._error = error
+                result = None
+            else:
+                ticket._result = result
+            with self._work:
+                session._inflight -= 1
+                self._outstanding -= 1
+                self.completed += 1
+                if result is not None:
+                    stats = result.stats
+                    session.queries += 1
+                    session.transactions += stats.transactions
+                    session.price += stats.price
+                    session.coalesced_fetches += stats.coalesced_fetches
+                    session.coalesced_savings_price += (
+                        stats.coalesced_savings_price
+                    )
+                else:
+                    session.failures += 1
+                self._dispatch_locked(session)
+                self._work.notify_all()
+            ticket._event.set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted ticket has finished."""
+        with self._work:
+            if not self._work.wait_for(
+                lambda: self._outstanding == 0, timeout
+            ):
+                raise AdmissionError(
+                    f"{self._outstanding} tickets still outstanding "
+                    f"after {timeout}s"
+                )
+
+    def close(self) -> None:
+        """Finish the ready queue, stop the workers, unwire the coalescer."""
+        with self._work:
+            self._closed = True
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join()
+        if self.payless.context.coalescer is self.coalescer:
+            self.payless.context.coalescer = None
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+        self.close()
+
+    # -- reporting ------------------------------------------------------------
+
+    def spend_report(self) -> str:
+        """Per-tenant attribution, plus what coalescing saved."""
+        lines = [f"serving: {self.payless.bill()}"]
+        with self._lock:
+            sessions = sorted(
+                self._sessions.values(), key=lambda s: s.name
+            )
+        for session in sessions:
+            line = (
+                f"  {session.name}: {session.queries} queries, "
+                f"{session.transactions} transactions, "
+                f"${session.price:g}"
+            )
+            if session.coalesced_fetches:
+                line += (
+                    f" (+{session.coalesced_fetches} coalesced fetches, "
+                    f"${session.coalesced_savings_price:g} saved)"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"QueryScheduler({self.config.workers} workers, "
+                f"{self._outstanding} outstanding, "
+                f"{self.completed} completed, "
+                f"coalesce={'on' if self.coalescer else 'off'})"
+            )

@@ -20,6 +20,7 @@ previously observed region returns its observed count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import StatisticsError
@@ -56,6 +57,10 @@ class FeedbackHistogram:
         self.max_boxes = max_boxes
         self._refined: list[_Refined] = []
         self.feedback_count = 0
+        #: Guards ``_refined``/``feedback_count``: concurrent sessions share
+        #: one histogram per table, and ``observe`` rebuilds the refined
+        #: list while ``estimate`` iterates it.
+        self._lock = threading.Lock()
 
     # -- estimation -----------------------------------------------------------
 
@@ -69,7 +74,9 @@ class FeedbackHistogram:
         refined_volume = 0
         refined_count = 0.0
         query_refined_volume = 0
-        for refined in self._refined:
+        with self._lock:
+            refined_snapshot = list(self._refined)
+        for refined in refined_snapshot:
             refined_volume += refined.box.volume()
             refined_count += refined.count
             overlap = query.intersect(refined.box)
@@ -103,29 +110,35 @@ class FeedbackHistogram:
         observed = full.intersect(box)
         if observed is None:
             return
-        survivors: list[_Refined] = []
-        for refined in self._refined:
-            overlap = refined.box.intersect(observed)
-            if overlap is None:
-                survivors.append(refined)
-                continue
-            outside_pieces = refined.box.subtract(observed)
-            old_volume = refined.box.volume()
-            for piece in outside_pieces:
-                survivors.append(
-                    _Refined(
-                        box=piece,
-                        count=refined.count * piece.volume() / old_volume,
+        with self._lock:
+            survivors: list[_Refined] = []
+            for refined in self._refined:
+                overlap = refined.box.intersect(observed)
+                if overlap is None:
+                    survivors.append(refined)
+                    continue
+                outside_pieces = refined.box.subtract(observed)
+                old_volume = refined.box.volume()
+                for piece in outside_pieces:
+                    survivors.append(
+                        _Refined(
+                            box=piece,
+                            count=refined.count * piece.volume() / old_volume,
+                        )
                     )
-                )
-        survivors.append(_Refined(box=observed, count=float(actual_count)))
-        self._refined = survivors
-        self.feedback_count += 1
-        if len(self._refined) > self.max_boxes:
-            self._compact()
+            survivors.append(
+                _Refined(box=observed, count=float(actual_count))
+            )
+            self._refined = survivors
+            self.feedback_count += 1
+            if len(self._refined) > self.max_boxes:
+                self._compact()
 
     def _compact(self) -> None:
-        """Fold the smallest fragments back into the uniform residual."""
+        """Fold the smallest fragments back into the uniform residual.
+
+        Called with ``_lock`` held (only from :meth:`observe`).
+        """
         self._refined.sort(key=lambda refined: refined.box.volume(), reverse=True)
         self._refined = self._refined[: self.max_boxes // 2]
 

@@ -28,7 +28,13 @@ def _marginal_space(table: str, dimension: Dimension) -> BoxSpace:
 
 
 class IndependenceHistogram:
-    """Per-dimension marginals combined under independence."""
+    """Per-dimension marginals combined under independence.
+
+    Thread-safety rides on the per-marginal :class:`FeedbackHistogram`
+    locks; this class's own mutations (cardinality / feedback_count) are
+    single attribute rebinds, which concurrent estimates may see slightly
+    stale — acceptable for an estimator.
+    """
 
     def __init__(self, space: BoxSpace, cardinality: int):
         if cardinality < 0:

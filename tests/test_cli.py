@@ -24,6 +24,24 @@ class TestSession:
         assert code == 0
         assert "download-all bound" in capsys.readouterr().out
 
+    def test_concurrent_session_with_workers(self, capsys):
+        code = main(
+            ["session", "--workload", "real", "--instances", "1",
+             "--workers", "4", "--sessions", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving:" in out
+        assert "user0" in out and "user1" in out
+
+    def test_concurrent_session_no_coalesce(self, capsys):
+        code = main(
+            ["session", "--workload", "real", "--instances", "1",
+             "--workers", "2", "--no-coalesce"]
+        )
+        assert code == 0
+        assert "serving:" in capsys.readouterr().out
+
 
 class TestExplain:
     def test_explain_prints_plan(self, capsys):

@@ -1,0 +1,182 @@
+"""Singleflight protocol unit tests: leader/follower, abort, release.
+
+The invariants asserted here are the ones the concurrent serving design
+rests on (see DESIGN.md "Concurrency & coalescing"): a completed flight
+stays registered until its rows are recorded (held-until-release), a
+failed flight is deregistered *before* its waiters wake (no waiter is
+ever served rows from an unbilled fetch), and release retires only the
+exact flight object it led (a successor flight started after an abort is
+untouched).
+"""
+
+import threading
+
+from repro.serve.singleflight import Flight, SingleflightGroup
+
+
+class _FakeResult:
+    """Stands in for a FetchResult — singleflight never inspects it."""
+
+
+def _result() -> _FakeResult:
+    return _FakeResult()
+
+
+class TestLifecycle:
+    def test_first_begin_leads(self):
+        group = SingleflightGroup()
+        flight, leader = group.begin("k")
+        assert leader
+        assert not flight.done
+        assert group.in_flight == 1
+        assert group.flights_led == 1
+
+    def test_second_begin_joins_same_flight(self):
+        group = SingleflightGroup()
+        flight, _ = group.begin("k")
+        joined, leader = group.begin("k")
+        assert joined is flight
+        assert not leader
+        assert flight.waiters == 1
+        assert group.fetches_coalesced == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        group = SingleflightGroup()
+        a, a_leads = group.begin("a")
+        b, b_leads = group.begin("b")
+        assert a is not b
+        assert a_leads and b_leads
+        assert group.in_flight == 2
+
+    def test_complete_wakes_waiters_with_shared_result(self):
+        group = SingleflightGroup()
+        flight, _ = group.begin("k")
+        result = _result()
+        group.complete(flight, result)
+        assert flight.done
+        assert flight.completed
+        assert flight.wait(timeout=0.0)
+        assert flight.result is result
+
+    def test_completed_flight_stays_registered_until_release(self):
+        # The held-until-release invariant: after complete() but before
+        # release(), a new arrival still joins the flight (free) instead
+        # of leading a duplicate paid fetch of the same key.
+        group = SingleflightGroup()
+        flight, _ = group.begin("k")
+        group.complete(flight, _result())
+        late, leader = group.begin("k")
+        assert late is flight
+        assert not leader
+        group.release(flight)
+        assert group.in_flight == 0
+        fresh, leads = group.begin("k")
+        assert fresh is not flight
+        assert leads
+
+    def test_release_removes_only_the_exact_flight(self):
+        group = SingleflightGroup()
+        first, _ = group.begin("k")
+        group.abort(first, RuntimeError("boom"))
+        successor, leads = group.begin("k")
+        assert leads
+        # Releasing the dead first flight must not retire the successor.
+        group.release(first)
+        assert group.in_flight == 1
+        again, joined_leader = group.begin("k")
+        assert again is successor
+        assert not joined_leader
+
+
+class TestAbort:
+    def test_abort_deregisters_before_waking(self):
+        group = SingleflightGroup()
+        flight, _ = group.begin("k")
+        error = RuntimeError("market down")
+        group.abort(flight, error)
+        assert flight.done
+        assert flight.failed
+        assert not flight.completed
+        assert flight.error is error
+        assert flight.result is None
+        # The key is free again: the next begin leads a fresh flight.
+        assert group.in_flight == 0
+        assert group.flights_aborted == 1
+        fresh, leads = group.begin("k")
+        assert leads
+        assert fresh is not flight
+
+    def test_waiter_never_reads_rows_from_a_failed_flight(self):
+        """Forced leader failure: the woken waiter must observe failure
+        (and re-begin as the new leader), never the failed flight's rows."""
+        group = SingleflightGroup()
+        flight, _ = group.begin("k")
+        observed = {}
+        joined = threading.Event()
+
+        def waiter():
+            shared, leader = group.begin("k")
+            assert not leader
+            joined.set()
+            shared.wait(timeout=5.0)
+            observed["failed"] = shared.failed
+            observed["result"] = shared.result
+            # The protocol's retry step: loop back through begin and
+            # become the new leader with a fresh retry budget.
+            retry, now_leader = group.begin("k")
+            observed["retried_as_leader"] = now_leader
+            group.complete(retry, _result())
+            group.release(retry)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert joined.wait(timeout=5.0)
+        group.abort(flight, RuntimeError("leader died"))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert observed["failed"] is True
+        assert observed["result"] is None
+        assert observed["retried_as_leader"] is True
+        assert group.flights_aborted == 1
+        assert group.in_flight == 0
+
+    def test_many_concurrent_begins_elect_one_leader(self):
+        group = SingleflightGroup()
+        barrier = threading.Barrier(8)
+        leaders = []
+        lock = threading.Lock()
+        flight_box = {}
+
+        def contender():
+            barrier.wait()
+            flight, leader = group.begin("k")
+            with lock:
+                leaders.append(leader)
+                flight_box.setdefault("flight", flight)
+                assert flight_box["flight"] is flight
+            if leader:
+                group.complete(flight, _result())
+            else:
+                assert flight.wait(timeout=5.0)
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert sum(leaders) == 1
+        assert group.flights_led == 1
+        assert group.fetches_coalesced == 7
+
+
+class TestIntrospection:
+    def test_repr_states(self):
+        flight = Flight("k")
+        assert "in-flight" in repr(flight)
+        group = SingleflightGroup()
+        led, _ = group.begin("k")
+        group.complete(led, _result())
+        assert "done" in repr(led)
+        group.abort(led, RuntimeError("x"))
+        assert "failed" in repr(led)
+        assert "led" in repr(group)
