@@ -14,16 +14,30 @@ pieces most users need:
   hierarchy it raises (:class:`~repro.errors.TransportError` and friends);
 * :class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.trace.QueryTrace`
   and :class:`~repro.obs.metrics.MetricsRegistry` — the observability
-  layer behind ``PayLess(tracing=True)`` and ``explain_analyze``.
+  layer behind ``PayLess(tracing=True)`` and ``explain_analyze``;
+* :class:`~repro.core.objectives.QueryOptions` — every installation knob
+  in one place — with :class:`~repro.core.objectives.PlanObjective` and
+  :class:`~repro.core.objectives.ServiceTier` steering the planner's
+  money-latency Pareto frontier (see
+  :class:`~repro.errors.InfeasibleObjectiveError` and the market's
+  :class:`~repro.market.latency.LatencyModel`).
 """
 
+from repro.core.objectives import (
+    SERVICE_TIERS,
+    PlanObjective,
+    QueryOptions,
+    ServiceTier,
+)
 from repro.core.optimizer import OptimizerOptions
 from repro.core.payless import Explanation, PayLess, QueryResult, QueryStats
+from repro.market.latency import DEFAULT_LATENCY, INSTANT, LatencyModel
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import QueryTrace, Tracer
 from repro.core.baselines import DownloadAllStrategy
 from repro.errors import (
     ExecutionError,
+    InfeasibleObjectiveError,
     MarketError,
     MarketUnavailableError,
     PlanningError,
@@ -57,19 +71,25 @@ __all__ = [
     "Database",
     "DataMarket",
     "Dataset",
+    "DEFAULT_LATENCY",
     "Domain",
     "DownloadAllStrategy",
     "ExecutionConfig",
     "ExecutionError",
     "Explanation",
     "FaultPolicy",
+    "InfeasibleObjectiveError",
+    "INSTANT",
+    "LatencyModel",
     "MarketError",
     "MarketUnavailableError",
     "MetricsRegistry",
     "OptimizerOptions",
     "PayLess",
     "PlanningError",
+    "PlanObjective",
     "PricingPolicy",
+    "QueryOptions",
     "QueryResult",
     "QueryStats",
     "QueryTrace",
@@ -77,6 +97,8 @@ __all__ = [
     "ReproError",
     "RetryExhaustedError",
     "Schema",
+    "SERVICE_TIERS",
+    "ServiceTier",
     "SqlAnalysisError",
     "Table",
     "Tracer",

@@ -26,6 +26,7 @@ from repro.bench.figures import (
 )
 from repro.bench.harness import SYSTEMS, download_all_bound, run_session
 from repro.bench.reporting import series_table, summary_table
+from repro.core.objectives import SERVICE_TIERS, PlanObjective, ServiceTier
 from repro.market.faults import FaultPolicy
 from repro.market.transport import TransportConfig
 
@@ -107,6 +108,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "sessions (singleflight); --no-coalesce lets concurrent "
         "sessions pay separately for the same box",
     )
+    session.add_argument(
+        "--objective", default=None, metavar="SPEC",
+        help="planning objective: min_dollars (default), min_latency, "
+        "dollars_under_latency_ms:BOUND, latency_under_dollars:BOUND, "
+        "or weighted[:LATENCY_WEIGHT_PER_MS]",
+    )
+    session.add_argument(
+        "--tier", default=None, choices=sorted(SERVICE_TIERS),
+        help="service tier preset for every serving session "
+        "(only meaningful with --workers > 1; overrides --objective)",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
@@ -131,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-prune", action="store_true",
         help="plan with branch-and-bound pruning disabled (the exhaustive "
         "oracle — same plan, full candidate counts in the summary line)",
+    )
+    explain.add_argument(
+        "--objective", default=None, metavar="SPEC",
+        help="planning objective (see 'session --objective'); non-default "
+        "objectives add the Pareto frontier and chosen point to the output",
     )
     explain.add_argument(
         "sql",
@@ -160,6 +177,13 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _objective_of(args: argparse.Namespace) -> PlanObjective | None:
+    """The --objective flag, parsed (None = installation default)."""
+    if getattr(args, "objective", None) is None:
+        return None
+    return PlanObjective.parse(args.objective)
+
+
 def _session_transport(args: argparse.Namespace) -> TransportConfig | None:
     """Build the transport configuration from the session flags."""
     faults = None
@@ -186,8 +210,12 @@ def _cmd_session_concurrent(args: argparse.Namespace, data, instances) -> int:
         engine=args.engine,
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
+        objective=_objective_of(args),
     )
-    config = ServeConfig(workers=args.workers, coalesce=args.coalesce)
+    tier = ServiceTier.named(args.tier) if args.tier else None
+    config = ServeConfig(
+        workers=args.workers, coalesce=args.coalesce, default_tier=tier
+    )
     with QueryScheduler(payless, config) as scheduler:
         tickets = [
             scheduler.session(f"user{i % max(1, args.sessions)}").submit(
@@ -234,6 +262,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         engine=args.engine,
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
+        objective=_objective_of(args),
     )
     print()
     print(
@@ -278,8 +307,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     payless, __ = build_system(
         "payless", data, engine=args.engine, prune=not args.no_prune
     )
+    objective = _objective_of(args)
     explanation = (
-        payless.explain_analyze(sql) if analyze else payless.explain(sql)
+        payless.explain_analyze(sql, objective=objective)
+        if analyze
+        else payless.explain(sql, objective=objective)
     )
     print(explanation.render())
     if args.trace_json:

@@ -150,6 +150,24 @@ class PlanningContext:
         dataset = self.market.dataset(self.dataset_of(table))
         return dataset.pricing.tuples_per_transaction
 
+    @property
+    def latency_model(self):
+        """The latency model the planner estimates plan wall-clock with.
+
+        The market's own model when it has one; an instant market (the
+        test/default configuration) falls back to
+        :data:`~repro.market.latency.DEFAULT_LATENCY` so the latency axis
+        of the Pareto frontier stays meaningful — planning against an
+        all-zero model would make every plan "equally fast" and reduce
+        every objective to min-dollars.
+        """
+        model = self.market.latency
+        if model.is_instant:
+            from repro.market.latency import DEFAULT_LATENCY
+
+            return DEFAULT_LATENCY
+        return model
+
     # -- SchemaProvider protocol (for the SQL analyzer) ---------------------------
 
     def has_table(self, name: str) -> bool:

@@ -1,0 +1,400 @@
+"""Planning objectives, service tiers, and the unified ``QueryOptions``.
+
+The paper's optimizer minimizes one thing: the money paid to the market.
+Production buyers also care about wall-clock — the market's REST calls
+dominate query time (Section 5) — so the planner enumerates the
+money-latency Pareto frontier per subproblem and a :class:`PlanObjective`
+picks the point to execute:
+
+* ``min_dollars`` — the paper's objective, and the default.  The planner
+  takes the exact single-objective path and chooses plans byte-identical
+  to the exhaustive oracle.
+* ``min_latency`` — the fastest plan (ties broken by dollars).
+* ``dollars_under_latency_ms`` — the cheapest plan whose estimated
+  latency fits under a bound; an unmeetable bound raises
+  :class:`~repro.errors.InfeasibleObjectiveError` — never a silent
+  fallback.
+* ``latency_under_dollars`` — the fastest plan under a dollar budget.
+* ``weighted`` — minimize ``dollar_weight·dollars +
+  latency_weight_per_ms·latency_ms``.
+
+"Dollars" here is the planner's money cost in market *transactions*
+(``$1`` per transaction under the default
+:class:`~repro.market.pricing.PricingPolicy`); latency estimates come
+from the market's :class:`~repro.market.latency.LatencyModel` summed
+serially over the plan's market calls.
+
+:class:`ServiceTier` names an objective preset so the serving layer can
+plan each tenant's queries under their tier, and :class:`QueryOptions`
+is the one documented entry point consolidating the per-installation
+knobs that used to be scattered across ``PayLess(...)`` keyword
+arguments, :class:`~repro.core.optimizer.OptimizerOptions`, and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import PlanningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.optimizer import OptimizerOptions
+    from repro.market.transport import TransportConfig
+
+
+#: The five ways a plan can be chosen from the Pareto frontier.
+PLAN_OBJECTIVE_KINDS = (
+    "min_dollars",
+    "min_latency",
+    "dollars_under_latency_ms",
+    "latency_under_dollars",
+    "weighted",
+)
+
+
+@dataclass(frozen=True)
+class PlanObjective:
+    """What the planner optimizes for — one point on the Pareto frontier.
+
+    Construct through the classmethods (``PlanObjective.min_latency()``,
+    ``PlanObjective.dollars_under_latency_ms(500)``, ...) rather than the
+    raw constructor; invalid combinations raise
+    :class:`~repro.errors.PlanningError` at construction time.  Instances
+    are frozen and hashable, so an objective can be part of a plan-cache
+    key: two objectives over the same SQL template never share a cached
+    plan.
+    """
+
+    kind: str = "min_dollars"
+    #: Estimated-latency ceiling for ``dollars_under_latency_ms``.
+    latency_bound_ms: float | None = None
+    #: Estimated-dollars ceiling for ``latency_under_dollars``.
+    dollar_bound: float | None = None
+    #: Blend weights for ``weighted``: score = dollar_weight·dollars +
+    #: latency_weight_per_ms·latency_ms.
+    dollar_weight: float = 1.0
+    latency_weight_per_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLAN_OBJECTIVE_KINDS:
+            raise PlanningError(
+                f"unknown plan objective {self.kind!r}; "
+                f"pick one of {PLAN_OBJECTIVE_KINDS}"
+            )
+        if self.kind == "dollars_under_latency_ms":
+            if self.latency_bound_ms is None or self.latency_bound_ms <= 0:
+                raise PlanningError(
+                    "dollars_under_latency_ms needs a positive "
+                    f"latency_bound_ms, got {self.latency_bound_ms!r}"
+                )
+        elif self.latency_bound_ms is not None:
+            raise PlanningError(
+                f"latency_bound_ms only applies to dollars_under_latency_ms, "
+                f"not {self.kind!r}"
+            )
+        if self.kind == "latency_under_dollars":
+            if self.dollar_bound is None or self.dollar_bound <= 0:
+                raise PlanningError(
+                    "latency_under_dollars needs a positive dollar_bound, "
+                    f"got {self.dollar_bound!r}"
+                )
+        elif self.dollar_bound is not None:
+            raise PlanningError(
+                f"dollar_bound only applies to latency_under_dollars, "
+                f"not {self.kind!r}"
+            )
+        if self.dollar_weight < 0 or self.latency_weight_per_ms < 0:
+            raise PlanningError("objective weights cannot be negative")
+        if self.kind == "weighted" and (
+            self.dollar_weight == 0 and self.latency_weight_per_ms == 0
+        ):
+            raise PlanningError(
+                "weighted objective needs at least one nonzero weight"
+            )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def min_dollars(cls) -> "PlanObjective":
+        """The paper's objective: cheapest plan, latency ignored."""
+        return MIN_DOLLARS
+
+    @classmethod
+    def min_latency(cls) -> "PlanObjective":
+        """The fastest plan; ties broken by dollars."""
+        return cls(kind="min_latency")
+
+    @classmethod
+    def dollars_under_latency_ms(cls, bound_ms: float) -> "PlanObjective":
+        """Cheapest plan estimated to finish within ``bound_ms``."""
+        return cls(kind="dollars_under_latency_ms", latency_bound_ms=bound_ms)
+
+    @classmethod
+    def latency_under_dollars(cls, bound: float) -> "PlanObjective":
+        """Fastest plan estimated to cost at most ``bound`` dollars."""
+        return cls(kind="latency_under_dollars", dollar_bound=bound)
+
+    @classmethod
+    def weighted(
+        cls,
+        dollar_weight: float = 1.0,
+        latency_weight_per_ms: float = 0.01,
+    ) -> "PlanObjective":
+        """Minimize a linear blend of dollars and milliseconds."""
+        return cls(
+            kind="weighted",
+            dollar_weight=dollar_weight,
+            latency_weight_per_ms=latency_weight_per_ms,
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "PlanObjective":
+        """Parse a CLI-style objective: a kind name, with ``kind:value``
+        for the bounded kinds (e.g. ``dollars_under_latency_ms:500``)."""
+        name, sep, value = text.partition(":")
+        name = name.strip().lower()
+        if name == "min_dollars":
+            return MIN_DOLLARS
+        if name == "min_latency":
+            return cls.min_latency()
+        if name in ("dollars_under_latency_ms", "latency_under_dollars"):
+            if not sep:
+                raise PlanningError(
+                    f"objective {name!r} needs a bound, e.g. {name}:500"
+                )
+            try:
+                bound = float(value)
+            except ValueError:
+                raise PlanningError(
+                    f"objective bound must be a number, got {value!r}"
+                ) from None
+            if name == "dollars_under_latency_ms":
+                return cls.dollars_under_latency_ms(bound)
+            return cls.latency_under_dollars(bound)
+        if name == "weighted":
+            if not sep:
+                return cls.weighted()
+            try:
+                weight = float(value)
+            except ValueError:
+                raise PlanningError(
+                    f"weighted latency weight must be a number, got {value!r}"
+                ) from None
+            return cls.weighted(latency_weight_per_ms=weight)
+        raise PlanningError(
+            f"unknown plan objective {name!r}; "
+            f"pick one of {PLAN_OBJECTIVE_KINDS}"
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this is the paper's single-objective (min-dollars) path."""
+        return self.kind == "min_dollars"
+
+    def fingerprint(self) -> tuple:
+        """The hashable identity used inside plan-cache keys."""
+        return (
+            self.kind,
+            self.latency_bound_ms,
+            self.dollar_bound,
+            self.dollar_weight,
+            self.latency_weight_per_ms,
+        )
+
+    def describe(self) -> str:
+        if self.kind == "dollars_under_latency_ms":
+            return f"dollars_under_latency_ms({self.latency_bound_ms:g} ms)"
+        if self.kind == "latency_under_dollars":
+            return f"latency_under_dollars(${self.dollar_bound:g})"
+        if self.kind == "weighted":
+            return (
+                f"weighted({self.dollar_weight:g}·$ + "
+                f"{self.latency_weight_per_ms:g}·ms)"
+            )
+        return self.kind
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+#: The paper's objective — the planner default, shared so identity checks
+#: (``objective is MIN_DOLLARS``) work for the common case.
+MIN_DOLLARS = PlanObjective()
+
+
+@dataclass(frozen=True)
+class ServiceTier:
+    """A named objective preset attachable to a serving session.
+
+    The scheduler plans every query of a session under its tier's
+    objective, so one installation serves latency-sensitive and
+    cost-sensitive tenants side by side (see
+    :meth:`repro.serve.scheduler.QueryScheduler.session`).
+    """
+
+    name: str
+    objective: PlanObjective
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanningError("a service tier needs a name")
+        if not isinstance(self.objective, PlanObjective):
+            raise PlanningError(
+                f"tier objective must be a PlanObjective, "
+                f"got {self.objective!r}"
+            )
+
+    @classmethod
+    def named(cls, name: str) -> "ServiceTier":
+        """Look up one of the built-in tiers by name."""
+        tier = SERVICE_TIERS.get(name.lower())
+        if tier is None:
+            raise PlanningError(
+                f"unknown service tier {name!r}; "
+                f"pick one of {tuple(SERVICE_TIERS)}"
+            )
+        return tier
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.objective.describe()})"
+
+
+#: The built-in tiers (``ServiceTier.named("economy")`` etc.).
+SERVICE_TIERS: dict[str, ServiceTier] = {
+    tier.name: tier
+    for tier in (
+        ServiceTier(
+            "economy",
+            MIN_DOLLARS,
+            "cheapest plan, latency ignored (the paper's behaviour)",
+        ),
+        ServiceTier(
+            "interactive",
+            PlanObjective.dollars_under_latency_ms(2000.0),
+            "cheapest plan estimated under two seconds",
+        ),
+        ServiceTier(
+            "realtime",
+            PlanObjective(kind="min_latency"),
+            "fastest plan regardless of dollars (ties broken by dollars)",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Every installation knob, in one documented place.
+
+    Pass it as ``PayLess(market, options=QueryOptions(...))``.  The old
+    scattered surface — ``PayLess(transport=..., engine=...,
+    max_concurrent_calls=..., prune_bounding_boxes=...)`` and
+    ``options=OptimizerOptions(...)`` — keeps working through
+    ``DeprecationWarning`` forwarders; see the README migration table.
+    """
+
+    # -- what to optimize for -------------------------------------------------
+    #: Installation-wide default objective; per-call ``objective=`` on
+    #: ``query``/``explain``/... (or a session's ServiceTier) overrides it.
+    objective: PlanObjective = MIN_DOLLARS
+
+    # -- planner (was OptimizerOptions + prune_bounding_boxes) ----------------
+    use_sqr: bool = True
+    use_theorems: bool = True
+    #: The unit the money axis counts: "transactions" (PayLess) or
+    #: "calls" (the Minimizing-Calls competitor).
+    cost_metric: str = "transactions"
+    max_bind_attrs: int = 2
+    prune: bool = True
+    plan_cache_size: int = 256
+    #: Algorithm 1 bounding-box pruning inside the semantic rewriter.
+    prune_bounding_boxes: bool = True
+
+    # -- execution ------------------------------------------------------------
+    #: Local-evaluation engine ("vectorized" or "reference"; None = default).
+    engine: str | None = None
+    #: In-flight market calls per table access (None = context default).
+    max_concurrent_calls: int | None = None
+    #: Default for singleflight coalescing when this installation is put
+    #: behind a :class:`~repro.serve.scheduler.QueryScheduler` without an
+    #: explicit :class:`~repro.serve.scheduler.ServeConfig`.
+    coalesce: bool = True
+
+    # -- transport (was PayLess(transport=TransportConfig(...))) --------------
+    #: A fully-specified transport config; the convenience fields below
+    #: overlay it (or a default config) when set.
+    transport: "TransportConfig | None" = None
+    partial_results: bool | None = None
+    max_retries: int | None = None
+    #: Fault injection (0 = off) with a deterministic seed.
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.objective, PlanObjective):
+            raise PlanningError(
+                f"objective must be a PlanObjective, got {self.objective!r}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise PlanningError(
+                f"fault_rate must be within [0, 1], got {self.fault_rate!r}"
+            )
+        # Delegate the planner-knob validation (and fail fast at
+        # construction, not first query).
+        self.optimizer_options()
+
+    # -- derived configs ------------------------------------------------------
+
+    def optimizer_options(self) -> "OptimizerOptions":
+        """The planner's view of these options."""
+        from repro.core.optimizer import OptimizerOptions
+
+        return OptimizerOptions(
+            use_sqr=self.use_sqr,
+            use_theorems=self.use_theorems,
+            objective=self.cost_metric,
+            max_bind_attrs=self.max_bind_attrs,
+            prune=self.prune,
+            plan_cache_size=self.plan_cache_size,
+            plan_objective=self.objective,
+        )
+
+    def transport_config(self) -> "TransportConfig | None":
+        """The money-safe transport's view (None = library defaults)."""
+        from repro.market.faults import FaultPolicy
+        from repro.market.transport import TransportConfig
+
+        overlays = {}
+        if self.partial_results is not None:
+            overlays["partial_results"] = self.partial_results
+        if self.max_retries is not None:
+            overlays["max_retries"] = self.max_retries
+        if self.fault_rate > 0.0:
+            overlays["faults"] = FaultPolicy.uniform(
+                seed=self.fault_seed, rate=self.fault_rate
+            )
+        if self.transport is None and not overlays:
+            return None
+        base = self.transport if self.transport is not None else TransportConfig()
+        return replace(base, **overlays) if overlays else base
+
+    @classmethod
+    def from_optimizer_options(cls, options: "OptimizerOptions", **extra) -> "QueryOptions":
+        """Adapt a legacy :class:`OptimizerOptions` (the forwarder path)."""
+        return cls(
+            objective=options.plan_objective,
+            use_sqr=options.use_sqr,
+            use_theorems=options.use_theorems,
+            cost_metric=options.objective,
+            max_bind_attrs=options.max_bind_attrs,
+            prune=options.prune,
+            plan_cache_size=options.plan_cache_size,
+            **extra,
+        )
+
+    def with_objective(self, objective: PlanObjective) -> "QueryOptions":
+        return replace(self, objective=objective)

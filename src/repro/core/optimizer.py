@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 
 from repro.core.context import PlanningContext
+from repro.core.objectives import MIN_DOLLARS, PlanObjective
 from repro.core.plans import (
     JoinNode,
     LocalBlockNode,
@@ -38,7 +39,7 @@ from repro.core.plans import (
     PlanNode,
 )
 from repro.core.rewriter import RewriteResult
-from repro.errors import PlanningError
+from repro.errors import InfeasibleObjectiveError, PlanningError
 from repro.relational.expressions import conjunction
 from repro.relational.query import JoinPredicate, LogicalQuery
 from repro.semstore.space import BoxSpace
@@ -63,10 +64,20 @@ class OptimizerOptions:
     #: Entries the installation's parameterized plan cache may hold;
     #: 0 disables the cache entirely.
     plan_cache_size: int = 256
+    #: What to pick from the money-latency Pareto frontier (see
+    #: :mod:`repro.core.objectives`).  The default ``min_dollars`` runs
+    #: the paper's exact single-objective DP; any other kind switches the
+    #: DP to per-subset Pareto frontiers of (money, latency_ms) vectors.
+    plan_objective: PlanObjective = MIN_DOLLARS
 
     def __post_init__(self) -> None:
         if self.objective not in ("transactions", "calls"):
             raise PlanningError(f"unknown objective {self.objective!r}")
+        if not isinstance(self.plan_objective, PlanObjective):
+            raise PlanningError(
+                f"plan_objective must be a PlanObjective, "
+                f"got {self.plan_objective!r}"
+            )
         if not isinstance(self.prune, bool):
             raise PlanningError(
                 f"prune must be True or False, got {self.prune!r}"
@@ -110,10 +121,26 @@ class PlanningResult:
     #: was served from the cache), "miss" (planned fresh, now cached), or
     #: "off" (cache disabled, or the optimizer was invoked directly).
     cache_status: str = "off"
+    #: Estimated serial wall-clock of the chosen plan's market calls under
+    #: the planning context's latency model.
+    latency_ms: float = 0.0
+    #: The objective the plan was chosen under.
+    objective: PlanObjective = MIN_DOLLARS
+    #: The full-query money-latency Pareto frontier as ``(cost,
+    #: latency_ms)`` points in first-seen order.  A single point under
+    #: ``min_dollars`` (the frontier is not enumerated on that path).
+    frontier: tuple[tuple[float, float], ...] = ()
+    #: Why the chosen point won (EXPLAIN's "why" line; empty for
+    #: min_dollars).
+    objective_note: str = ""
 
     @property
     def from_cache(self) -> bool:
         return self.cache_status == "hit"
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.frontier)
 
     @property
     def kept_plans(self) -> int:
@@ -126,6 +153,8 @@ class _SubPlan:
     node: PlanNode
     cost: float
     rows: float
+    #: Serial market wall-clock estimate — the second Pareto axis.
+    latency: float = 0.0
 
 
 class Optimizer:
@@ -176,6 +205,19 @@ class Optimizer:
         self._prune = self.options.prune and self.options.use_theorems
         self._upper_bound = math.inf
         self._full_key: frozenset[str] | None = None
+        #: Pareto mode: any objective besides the paper's min_dollars
+        #: switches the DP to per-subset (money, latency) frontiers.  The
+        #: min_dollars path below is the unmodified single-objective DP —
+        #: latency is computed on every node but never consulted, so its
+        #: chosen plans stay byte-identical to the historical oracle.
+        self._objective = self.options.plan_objective
+        self._pareto = not self._objective.is_default
+        self._latency_model = self.context.latency_model
+        #: Pareto branch-and-bound state: (money, latency) vectors of
+        #: known *complete* plans (greedy seeds + accepted full-key
+        #: candidates).  A candidate strictly worse than any of them on
+        #: BOTH axes can never contribute a frontier point.
+        self._bound_frontier: list[tuple[float, float]] = []
         # Per-optimize() probe memos.  Safe because planning never mutates
         # the store or catalog: every probe is a pure function of the query
         # and the store state at planning time.  (The rewriter's own
@@ -196,6 +238,12 @@ class Optimizer:
                 raise PlanningError(f"table {table!r} is neither local nor market")
 
         if not self.options.use_theorems:
+            if self._pareto:
+                raise PlanningError(
+                    "the bushy debug enumerator supports only the "
+                    "min_dollars objective; Pareto planning needs the "
+                    "left-deep DP (use_theorems=True)"
+                )
             return self._optimize_bushy(query, market_tables, local_tables)
 
         zero_market = [
@@ -207,7 +255,13 @@ class Optimizer:
         if not priced:
             if block is None:
                 raise PlanningError("query references no tables")
+            if self._pareto:
+                chosen, note = self._select_from_frontier([block])
+                return self._result(chosen, frontier=[block], note=note)
             return self._result(block)
+
+        if self._pareto:
+            return self._optimize_pareto(priced, block)
 
         best = self._dynamic_program(priced, block)
         key = frozenset(t.lower() for t in priced)
@@ -228,7 +282,21 @@ class Optimizer:
             )
         return self._result(best[key])
 
-    def _result(self, subplan: _SubPlan) -> PlanningResult:
+    def _result(
+        self,
+        subplan: _SubPlan,
+        frontier: list[_SubPlan] | None = None,
+        note: str = "",
+    ) -> PlanningResult:
+        points = (
+            tuple((entry.cost, entry.latency) for entry in frontier)
+            if frontier is not None
+            else ((subplan.cost, subplan.latency),)
+        )
+        if frontier is not None:
+            self.context.metrics.histogram("plan_frontier_size").observe(
+                len(points)
+            )
         return PlanningResult(
             plan=subplan.node,
             cost=subplan.cost,
@@ -236,6 +304,10 @@ class Optimizer:
             enumerated_boxes=self._enumerated_boxes,
             kept_boxes=self._kept_boxes,
             pruned_plans=self._pruned,
+            latency_ms=subplan.latency,
+            objective=self._objective,
+            frontier=points,
+            objective_note=note,
         )
 
     # ---------------------------------------------------------------- theorems
@@ -448,22 +520,322 @@ class Optimizer:
             if part is None:
                 return None
             parts.append(part)
-        parts.sort(key=lambda p: p.cost, reverse=True)
+        return self._combine_parts(parts)
+
+    @staticmethod
+    def _combine_parts(parts: list[_SubPlan]) -> _SubPlan:
+        """Cartesian-product composition of component subplans."""
+        parts = sorted(parts, key=lambda p: p.cost, reverse=True)
         combined = parts[0]
         for part in parts[1:]:
             node = JoinNode(
                 relations=combined.node.relations | part.node.relations,
                 cost=combined.cost + part.cost,
                 estimated_rows=combined.rows * part.rows,
+                latency_ms=combined.latency + part.latency,
                 left=combined.node,
                 right=part.node,
                 predicates=(),
                 cartesian=True,
             )
             combined = _SubPlan(
-                node=node, cost=node.cost, rows=node.estimated_rows
+                node=node,
+                cost=node.cost,
+                rows=node.estimated_rows,
+                latency=node.latency_ms,
             )
         return combined
+
+    # -------------------------------------------------------------- Pareto DP
+    #
+    # Any objective besides min_dollars runs the same bottom-up left-deep
+    # enumeration, but each subset keeps a *Pareto frontier* of (money,
+    # latency) vectors instead of a single cheapest subplan.  Pruning
+    # generalizes the scalar branch and bound: a candidate is discarded
+    # only when a known complete plan beats it *strictly on both axes*
+    # (strict, so first-seen ties survive — the property that keeps
+    # pruned and unpruned runs byte-identical, here per frontier point).
+
+    def _optimize_pareto(
+        self, priced: list[str], block: _SubPlan | None
+    ) -> PlanningResult:
+        frontiers = self._pareto_program(priced, block)
+        key = frozenset(t.lower() for t in priced)
+        if not frontiers.get(key) and self._prune:
+            # Same correctness net as the scalar path: if the pruned
+            # space never completed a plan, re-run exhaustively.
+            self._prune = False
+            self._bound_frontier = []
+            self.context.metrics.counter("plan_bnb_fallbacks").inc()
+            frontiers = self._pareto_program(priced, block)
+        entries = frontiers.get(key)
+        if not entries:
+            raise PlanningError(
+                "no feasible plan: some bound attributes can never be bound"
+            )
+        frontier = self._pareto_front(entries)
+        chosen, note = self._select_from_frontier(frontier)
+        return self._result(chosen, frontier=frontier, note=note)
+
+    def _pareto_program(
+        self, priced: list[str], block: _SubPlan | None
+    ) -> dict[frozenset[str], list[_SubPlan]]:
+        frontiers: dict[frozenset[str], list[_SubPlan]] = {}
+        block_tables = (
+            frozenset(t.lower() for t in block.node.tables)
+            if block is not None
+            else frozenset()
+        )
+        by_name = {t.lower(): t for t in priced}
+        self._full_key = frozenset(by_name)
+        if self._prune:
+            self._seed_bound_frontier(priced, block)
+
+        # Level 1.
+        for table in priced:
+            key = frozenset([table.lower()])
+            for candidate in self._extension_candidates(block, table):
+                self._consider_pareto(frontiers, key, candidate)
+
+        # Levels 2..n.
+        for size in range(2, len(priced) + 1):
+            for subset_names in combinations(sorted(by_name), size):
+                subset = frozenset(subset_names)
+                components = self._components(subset, block_tables)
+                if len(components) > 1:
+                    for combined in self._combine_components_pareto(
+                        frontiers, components
+                    ):
+                        self._evaluated += 1
+                        self._consider_pareto(frontiers, subset, combined)
+                    continue
+                for table_key in subset:
+                    rest = subset - {table_key}
+                    lefts = frontiers.get(rest)
+                    if not lefts:
+                        continue
+                    table = by_name[table_key]
+                    for left in lefts:
+                        for candidate in self._extension_candidates(
+                            left, table
+                        ):
+                            self._consider_pareto(frontiers, subset, candidate)
+        return frontiers
+
+    def _seed_bound_frontier(
+        self, priced: list[str], block: _SubPlan | None
+    ) -> None:
+        """Seed the B&B bound with two greedy complete plans: one chasing
+        money, one chasing latency — together they bound both axes."""
+        for key_fn in (
+            lambda c: (c.cost, c.latency),
+            lambda c: (c.latency, c.cost),
+        ):
+            complete = self._greedy_complete(priced, block, key_fn)
+            if complete is not None:
+                self._note_complete(complete.cost, complete.latency)
+
+    def _greedy_complete(
+        self, priced: list[str], block: _SubPlan | None, key_fn
+    ) -> _SubPlan | None:
+        """One greedy left-deep completion, extending by ``key_fn``-best."""
+        current = block
+        remaining = dict(sorted((t.lower(), t) for t in priced))
+        while remaining:
+            step: _SubPlan | None = None
+            step_key: str | None = None
+            for key, table in remaining.items():
+                for candidate in self._extension_candidates(current, table):
+                    if step is None or key_fn(candidate) < key_fn(step):
+                        step, step_key = candidate, key
+            if step is None:
+                return None
+            current = step
+            del remaining[step_key]
+        return current
+
+    def _note_complete(self, cost: float, latency: float) -> None:
+        """Record a complete plan's vector in the B&B bound frontier."""
+        for known_cost, known_latency in self._bound_frontier:
+            if known_cost <= cost and known_latency <= latency:
+                return
+        self._bound_frontier = [
+            (known_cost, known_latency)
+            for known_cost, known_latency in self._bound_frontier
+            if not (cost <= known_cost and latency <= known_latency)
+        ]
+        self._bound_frontier.append((cost, latency))
+
+    def _consider_pareto(
+        self,
+        frontiers: dict[frozenset[str], list[_SubPlan]],
+        key: frozenset[str],
+        candidate: _SubPlan,
+    ) -> None:
+        entries = frontiers.setdefault(key, [])
+        accepted = True
+        # Within-subset *weak* dominance: an incumbent at least as good
+        # on both axes rejects the candidate, so on exact vector ties the
+        # first-seen plan is kept — the same tie rule that makes the
+        # scalar path reproducible against its oracle.
+        for incumbent in entries:
+            if (
+                incumbent.cost <= candidate.cost
+                and incumbent.latency <= candidate.latency
+            ):
+                accepted = False
+                break
+        bounded = False
+        if accepted and self._prune:
+            for bound_cost, bound_latency in self._bound_frontier:
+                if (
+                    bound_cost < candidate.cost
+                    and bound_latency < candidate.latency
+                ):
+                    # Strictly worse than a complete plan on BOTH axes:
+                    # access costs are non-negative and additive, so no
+                    # extension of this candidate can reach the final
+                    # frontier or claim a first-seen tie on it.
+                    accepted = False
+                    bounded = True
+                    break
+        if self._prune and not accepted:
+            self._pruned += 1
+        if self._tracing:
+            self.context.tracer.event(
+                "plan_candidate",
+                tables=sorted(key),
+                cost=candidate.cost,
+                latency_ms=candidate.latency,
+                accepted=accepted,
+                bounded=bounded,
+            )
+        if not accepted:
+            return
+        # Drop incumbents strictly worse than the newcomer on both axes
+        # (their extensions are strictly worse than the newcomer's and a
+        # complete plan through the newcomer will bound them anyway);
+        # weak ties stay, preserving first-seen representatives.
+        entries[:] = [
+            incumbent
+            for incumbent in entries
+            if not (
+                candidate.cost < incumbent.cost
+                and candidate.latency < incumbent.latency
+            )
+        ]
+        entries.append(candidate)
+        if self._prune and key == self._full_key:
+            self._note_complete(candidate.cost, candidate.latency)
+
+    def _combine_components_pareto(
+        self,
+        frontiers: dict[frozenset[str], list[_SubPlan]],
+        components: list[frozenset[str]],
+    ) -> list[_SubPlan]:
+        """Theorem 3 over frontiers: the Cartesian product of the
+        components' Pareto sets, combined one candidate per combination."""
+        combos: list[list[_SubPlan]] = [[]]
+        for component in components:
+            entries = frontiers.get(component)
+            if not entries:
+                return []
+            combos = [
+                prefix + [entry] for prefix in combos for entry in entries
+            ]
+        return [self._combine_parts(parts) for parts in combos]
+
+    @staticmethod
+    def _pareto_front(entries: list[_SubPlan]) -> list[_SubPlan]:
+        """The non-dominated subset, in first-seen order.
+
+        The per-subset lists may retain entries that a later, cheaper
+        *and* faster plan never displaced (weak ties are deliberately
+        kept during the run); the final sweep removes anything another
+        entry beats on one axis without losing the other.
+        """
+        front = []
+        for entry in entries:
+            dominated = False
+            for other in entries:
+                if other is entry:
+                    continue
+                if (
+                    other.cost <= entry.cost
+                    and other.latency <= entry.latency
+                    and (
+                        other.cost < entry.cost
+                        or other.latency < entry.latency
+                    )
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(entry)
+        return front
+
+    def _select_from_frontier(
+        self, front: list[_SubPlan]
+    ) -> tuple[_SubPlan, str]:
+        """Pick the frontier point the objective asks for (or raise)."""
+        objective = self._objective
+        count = len(front)
+        if objective.kind == "min_latency":
+            chosen = min(front, key=lambda e: (e.latency, e.cost))
+            return chosen, f"fastest of {count} Pareto point(s)"
+        if objective.kind == "dollars_under_latency_ms":
+            bound = objective.latency_bound_ms
+            feasible = [e for e in front if e.latency <= bound]
+            if not feasible:
+                self.context.metrics.counter(
+                    "plan_objective_infeasible"
+                ).inc()
+                fastest = min(e.latency for e in front)
+                raise InfeasibleObjectiveError(
+                    f"no plan fits under {bound:g} ms: the fastest of "
+                    f"{count} Pareto point(s) is estimated at "
+                    f"{fastest:g} ms",
+                    objective=objective,
+                    frontier=tuple((e.cost, e.latency) for e in front),
+                )
+            chosen = min(feasible, key=lambda e: (e.cost, e.latency))
+            return chosen, (
+                f"cheapest of {len(feasible)}/{count} Pareto point(s) "
+                f"within {bound:g} ms"
+            )
+        if objective.kind == "latency_under_dollars":
+            bound = objective.dollar_bound
+            feasible = [e for e in front if e.cost <= bound]
+            if not feasible:
+                self.context.metrics.counter(
+                    "plan_objective_infeasible"
+                ).inc()
+                cheapest = min(e.cost for e in front)
+                raise InfeasibleObjectiveError(
+                    f"no plan fits under ${bound:g}: the cheapest of "
+                    f"{count} Pareto point(s) is estimated at "
+                    f"${cheapest:g}",
+                    objective=objective,
+                    frontier=tuple((e.cost, e.latency) for e in front),
+                )
+            chosen = min(feasible, key=lambda e: (e.latency, e.cost))
+            return chosen, (
+                f"fastest of {len(feasible)}/{count} Pareto point(s) "
+                f"under ${bound:g}"
+            )
+        weight_dollars = objective.dollar_weight
+        weight_latency = objective.latency_weight_per_ms
+        chosen = min(
+            front,
+            key=lambda e: (
+                weight_dollars * e.cost + weight_latency * e.latency,
+                e.cost,
+                e.latency,
+            ),
+        )
+        return chosen, (
+            f"best {objective.describe()} score over {count} Pareto point(s)"
+        )
 
     # ----------------------------------------------------------- access costing
 
@@ -509,7 +881,12 @@ class Optimizer:
         bind: bool,
     ) -> _SubPlan:
         if left is None:
-            return _SubPlan(node=access, cost=access.cost, rows=access.estimated_rows)
+            return _SubPlan(
+                node=access,
+                cost=access.cost,
+                rows=access.estimated_rows,
+                latency=access.latency_ms,
+            )
         rows = left.rows * access.estimated_rows
         if applicable:
             for join in applicable:
@@ -520,13 +897,14 @@ class Optimizer:
             relations=left.node.relations | access.relations,
             cost=left.cost + access.cost,
             estimated_rows=rows,
+            latency_ms=left.latency + access.latency_ms,
             left=left.node,
             right=access,
             predicates=tuple(applicable),
             bind=bind,
             cartesian=not applicable,
         )
-        return _SubPlan(node=node, cost=node.cost, rows=rows)
+        return _SubPlan(node=node, cost=node.cost, rows=rows, latency=node.latency_ms)
 
     def _applicable_joins(
         self, left_relations: frozenset[str], table: str
@@ -553,6 +931,7 @@ class Optimizer:
                 relations=frozenset([key]),
                 cost=self._objective_cost(rewrite),
                 estimated_rows=self._region_rows(table),
+                latency_ms=self._access_latency(rewrite),
                 table=table,
                 rewrite=rewrite,
             )
@@ -609,25 +988,38 @@ class Optimizer:
         else:
             uncovered = 1.0
 
+        per_call = (
+            math.ceil(rows_per_binding / tuples_per_transaction)
+            if rows_per_binding > 0
+            else 0
+        )
         if self.options.objective == "calls":
             cost = bindings
         else:
-            per_call = (
-                math.ceil(rows_per_binding / tuples_per_transaction)
-                if rows_per_binding > 0
-                else 0
-            )
             cost = bindings * uncovered * per_call
+        # One REST call per uncovered binding combination, each returning
+        # ``per_call`` transaction pages — the latency axis stays in
+        # transactions even when the money axis counts calls.
+        latency = bindings * uncovered * self._latency_model.call_ms(per_call)
         self._enumerated_boxes += rewrite.enumerated_boxes
         self._kept_boxes += rewrite.kept_boxes
         return MarketAccessNode(
             relations=frozenset([table.lower()]),
             cost=cost,
             estimated_rows=min(fetched_rows, region_rows),
+            latency_ms=latency,
             table=table,
             rewrite=rewrite,
             bind_attributes=tuple(j.side_for(table).column for j in joins),
             estimated_bindings=bindings,
+        )
+
+    def _access_latency(self, rewrite: RewriteResult) -> float:
+        """Estimated serial wall-clock of a direct access's remainder calls."""
+        model = self._latency_model
+        return sum(
+            model.call_ms(query.estimated_transactions)
+            for query in rewrite.remainder
         )
 
     def _objective_cost(self, rewrite: RewriteResult) -> float:
@@ -792,7 +1184,10 @@ class Optimizer:
                 access = self._direct_access(table)
                 self._evaluated += 1
                 feasible_market[table.lower()] = _SubPlan(
-                    node=access, cost=access.cost, rows=access.estimated_rows
+                    node=access,
+                    cost=access.cost,
+                    rows=access.estimated_rows,
+                    latency=access.latency_ms,
                 )
 
         all_tables = sorted(
@@ -832,13 +1227,21 @@ class Optimizer:
                             relations=subset,
                             cost=left.cost + right.cost,
                             estimated_rows=rows,
+                            latency_ms=left.latency + right.latency,
                             left=left.node,
                             right=right.node,
                             predicates=tuple(predicates),
                             cartesian=not predicates,
                         )
                         self._consider(
-                            best, subset, _SubPlan(node=node, cost=node.cost, rows=rows)
+                            best,
+                            subset,
+                            _SubPlan(
+                                node=node,
+                                cost=node.cost,
+                                rows=rows,
+                                latency=node.latency_ms,
+                            ),
                         )
                 # (ii) bind extensions: left subtree + one bound market table.
                 for table_key in subset:

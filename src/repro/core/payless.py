@@ -30,6 +30,12 @@ from typing import Any, Sequence
 from repro.core.baselines import DownloadAllStrategy
 from repro.core.context import PlanningContext
 from repro.core.executor import ExecutionResult, Executor, FailedFetch
+from repro.core.objectives import (
+    SERVICE_TIERS,
+    PlanObjective,
+    QueryOptions,
+    ServiceTier,
+)
 from repro.core.optimizer import Optimizer, OptimizerOptions, PlanningResult
 from repro.core.plancache import PlanCache
 from repro.core.plans import PlanNode
@@ -266,15 +272,24 @@ class Explanation:
 
 
 class PayLess:
-    """A buyer-side installation of the PayLess system."""
+    """A buyer-side installation of the PayLess system.
+
+    Configuration lives in one documented place:
+    :class:`~repro.core.objectives.QueryOptions`, passed as ``options=``.
+    The historical scattered keywords (``transport=``, ``engine=``,
+    ``max_concurrent_calls=``, ``prune_bounding_boxes=`` and
+    ``options=OptimizerOptions(...)``) keep working through
+    ``DeprecationWarning`` forwarders that fold them into the same
+    :class:`QueryOptions`.
+    """
 
     def __init__(
         self,
         market: DataMarket,
         local_db: Database | None = None,
         consistency: ConsistencyPolicy | None = None,
-        options: OptimizerOptions | None = None,
-        prune_bounding_boxes: bool = True,
+        options: QueryOptions | OptimizerOptions | None = None,
+        prune_bounding_boxes: bool | None = None,
         statistic: str = "isomer",
         max_concurrent_calls: int | None = None,
         transport: TransportConfig | None = None,
@@ -283,10 +298,24 @@ class PayLess:
         engine: str | None = None,
     ):
         self.market = market
-        self.options = options or OptimizerOptions()
+        #: The one documented configuration surface (see
+        #: :class:`~repro.core.objectives.QueryOptions`).
+        self.query_options = self._coerce_options(
+            options,
+            prune_bounding_boxes=prune_bounding_boxes,
+            max_concurrent_calls=max_concurrent_calls,
+            transport=transport,
+            engine=engine,
+        )
+        #: The planner's derived view of the configuration.  Public
+        #: because existing call sites read ``payless.options.use_sqr``
+        #: and friends; prefer ``payless.query_options`` going forward.
+        self.options = self.query_options.optimizer_options()
         #: The money-safe transport configuration (retries, backoff,
         #: circuit breakers, fault injection, partial results).
-        self.transport_config = transport or TransportConfig()
+        self.transport_config = (
+            self.query_options.transport_config() or TransportConfig()
+        )
         #: Observability: structured tracing (off by default — near-zero
         #: overhead; flip ``payless.tracer.enabled`` or use
         #: :meth:`explain_analyze` for one query) and the metrics registry
@@ -297,7 +326,9 @@ class PayLess:
         #: staged: "vectorized" (columnar batches + compiled kernels, the
         #: default) or "reference" (the row-at-a-time differential oracle).
         self.execution = (
-            ExecutionConfig(engine=engine) if engine else DEFAULT_EXECUTION
+            ExecutionConfig(engine=self.query_options.engine)
+            if self.query_options.engine
+            else DEFAULT_EXECUTION
         )
         #: Which updatable statistic drives estimation ("isomer",
         #: "independence", or "uniform"; see repro.stats.interface).
@@ -309,7 +340,7 @@ class PayLess:
             self.store,
             self.catalog,
             enabled=self.options.use_sqr,
-            prune=prune_bounding_boxes,
+            prune=self.query_options.prune_bounding_boxes,
         )
         self.context = PlanningContext(
             market=self.market,
@@ -317,7 +348,7 @@ class PayLess:
             store=self.store,
             rewriter=self.rewriter,
             local_db=self.local_db,
-            max_concurrent_calls=max_concurrent_calls,
+            max_concurrent_calls=self.query_options.max_concurrent_calls,
             transport=self.transport_config,
             tracer=self.tracer,
             metrics=self.metrics,
@@ -344,26 +375,70 @@ class PayLess:
         #: threads finish queries against this one installation.
         self._accounting_lock = threading.Lock()
 
+    @staticmethod
+    def _coerce_options(
+        options: QueryOptions | OptimizerOptions | None,
+        prune_bounding_boxes: bool | None,
+        max_concurrent_calls: int | None,
+        transport: TransportConfig | None,
+        engine: str | None,
+    ) -> QueryOptions:
+        """Fold the legacy keyword surface into one :class:`QueryOptions`.
+
+        Every deprecated spelling warns at the ``PayLess(...)`` call site
+        (``stacklevel=3``: this helper + ``__init__`` + the caller).
+        """
+        if isinstance(options, OptimizerOptions):
+            warnings.warn(
+                "PayLess(options=OptimizerOptions(...)) is deprecated; "
+                "pass options=QueryOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            query_options = QueryOptions.from_optimizer_options(options)
+        elif options is None:
+            query_options = QueryOptions()
+        else:
+            query_options = options
+        overlays: dict[str, Any] = {}
+        for name, value in (
+            ("prune_bounding_boxes", prune_bounding_boxes),
+            ("max_concurrent_calls", max_concurrent_calls),
+            ("transport", transport),
+            ("engine", engine),
+        ):
+            if value is None:
+                continue
+            warnings.warn(
+                f"PayLess({name}=...) is deprecated; "
+                f"pass options=QueryOptions({name}=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            overlays[name] = value
+        return replace(query_options, **overlays) if overlays else query_options
+
     # -- configuration shortcuts -------------------------------------------------
 
     @classmethod
     def full(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
         """The complete system: SQR + all search-space theorems."""
-        return cls(market, options=OptimizerOptions(), **kwargs)
+        kwargs.setdefault("options", QueryOptions())
+        return cls(market, **kwargs)
 
     @classmethod
     def without_sqr(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
         """The "PayLess w/o SQR" arm of Figure 10."""
-        return cls(market, options=OptimizerOptions(use_sqr=False), **kwargs)
+        kwargs.setdefault("options", QueryOptions(use_sqr=False))
+        return cls(market, **kwargs)
 
     @classmethod
     def minimizing_calls(cls, market: DataMarket, **kwargs: Any) -> "PayLess":
         """The Minimizing-Calls competitor of Figure 10."""
-        return cls(
-            market,
-            options=OptimizerOptions(use_sqr=False, objective="calls"),
-            **kwargs,
+        kwargs.setdefault(
+            "options", QueryOptions(use_sqr=False, cost_metric="calls")
         )
+        return cls(market, **kwargs)
 
     # -- registration ---------------------------------------------------------------
 
@@ -401,11 +476,44 @@ class PayLess:
         """Parse + analyze ``sql`` against registered tables."""
         return compile_sql(sql, self.context, params)
 
-    def _planner_fingerprint(self) -> tuple:
+    def _resolve_objective(
+        self, objective: PlanObjective | ServiceTier | str | None
+    ) -> PlanObjective:
+        """The effective objective of one call.
+
+        ``None`` means the installation default
+        (``query_options.objective``); a :class:`ServiceTier` contributes
+        its objective; a string names a built-in tier (``"realtime"``) or
+        parses as an objective spec (``"dollars_under_latency_ms:500"``).
+        """
+        if objective is None:
+            return self.query_options.objective
+        if isinstance(objective, PlanObjective):
+            return objective
+        if isinstance(objective, ServiceTier):
+            return objective.objective
+        if isinstance(objective, str):
+            tier = SERVICE_TIERS.get(objective.lower())
+            if tier is not None:
+                return tier.objective
+            return PlanObjective.parse(objective)
+        raise PlanningError(
+            "objective must be a PlanObjective, a ServiceTier, a tier "
+            f"name, or an objective spec string; got {objective!r}"
+        )
+
+    def _options_for(self, objective: PlanObjective) -> OptimizerOptions:
+        if objective == self.options.plan_objective:
+            return self.options
+        return replace(self.options, plan_objective=objective)
+
+    def _planner_fingerprint(self, objective: PlanObjective) -> tuple:
         """Everything besides the query itself that can change planning.
 
         Part of every plan-cache key: two installations (or one whose
-        configuration changed) must never serve each other's plans.
+        configuration changed) must never serve each other's plans — and
+        two objectives over the same template must never share a cached
+        plan, hence ``objective.fingerprint()`` below.
         """
         options = self.options
         transport = self.transport_config
@@ -415,6 +523,7 @@ class PayLess:
             options.objective,
             options.max_bind_attrs,
             options.prune,
+            objective.fingerprint(),
             self.execution.engine,
             self.rewriter.prune,
             self.statistic,
@@ -425,22 +534,33 @@ class PayLess:
         )
 
     def _plan_statement(
-        self, statement: SelectStatement, params: Sequence[Any]
+        self,
+        statement: SelectStatement,
+        params: Sequence[Any],
+        objective: PlanObjective | ServiceTier | str | None = None,
     ) -> tuple[PlanningResult, LogicalQuery]:
         """Plan a parsed template through the cache, without executing."""
+        resolved = self._resolve_objective(objective)
         key = self.plan_cache.statement_key(
-            statement, params, self._planner_fingerprint()
+            statement, params, self._planner_fingerprint(resolved)
         )
         entry = self.plan_cache.lookup(key)
         if entry is not None:
             return replace(entry.planning, cache_status="hit"), entry.logical
         logical = analyze(statement, self.context, params)
-        planning = Optimizer(self.context, self.options).optimize(logical)
+        planning = Optimizer(
+            self.context, self._options_for(resolved)
+        ).optimize(logical)
         planning.cache_status = "miss" if self.plan_cache.enabled else "off"
         self.plan_cache.insert(key, logical, planning)
         return planning, logical
 
-    def explain(self, sql: str, params: Sequence[Any] = ()) -> Explanation:
+    def explain(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ) -> Explanation:
         """Optimize without executing: no market call, no billing.
 
         ``str(...)`` of the returned :class:`Explanation` is the EXPLAIN
@@ -449,13 +569,19 @@ class PayLess:
         working unchanged.  Planning goes through the plan cache: a repeat
         EXPLAIN (or a later identical query) reuses the cached plan as
         long as the store epochs it was stamped with still hold.
+
+        ``objective`` overrides the installation default for this one
+        call (see :meth:`_resolve_objective` for the accepted forms).
         """
         statement = self.plan_cache.parse_sql(sql)
-        planning, __ = self._plan_statement(statement, params)
+        planning, __ = self._plan_statement(statement, params, objective)
         return Explanation(planning=planning, label=sql)
 
     def explain_analyze(
-        self, sql: str, params: Sequence[Any] = ()
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
     ) -> Explanation:
         """Execute ``sql`` with tracing forced on; render est-vs-actuals.
 
@@ -474,7 +600,9 @@ class PayLess:
             except BaseException:
                 tracer.end_query()
                 raise
-            result, planning = self._execute_statement(statement, params)
+            result, planning = self._execute_statement(
+                statement, params, objective
+            )
         finally:
             tracer.enabled = previous
         return Explanation(
@@ -485,12 +613,22 @@ class PayLess:
             result=result,
         )
 
-    def query(self, sql: str, params: Sequence[Any] = ()) -> QueryResult:
-        """Optimize and execute ``sql``, paying as little as possible."""
+    def query(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ) -> QueryResult:
+        """Optimize and execute ``sql``, paying as little as possible.
+
+        ``objective`` overrides the installation default for this one
+        call: a :class:`PlanObjective`, a :class:`ServiceTier`, a tier
+        name, or an objective spec string.
+        """
         tracer = self.tracer
         if not tracer.enabled:
             statement = self.plan_cache.parse_sql(sql)
-            result, __ = self._execute_statement(statement, params)
+            result, __ = self._execute_statement(statement, params, objective)
             return result
         tracer.begin_query(sql)
         try:
@@ -499,11 +637,14 @@ class PayLess:
         except BaseException:
             tracer.end_query()
             raise
-        result, __ = self._execute_statement(statement, params)
+        result, __ = self._execute_statement(statement, params, objective)
         return result
 
     def execute_statement(
-        self, statement: SelectStatement, params: Sequence[Any] = ()
+        self,
+        statement: SelectStatement,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
     ) -> QueryResult:
         """Run an already-parsed statement (the :class:`PreparedQuery` path).
 
@@ -511,13 +652,17 @@ class PayLess:
         were planned before at the current store epochs; otherwise the
         statement is re-analyzed and planned fresh (and cached).
         """
-        result, __ = self._execute_statement(statement, params)
+        result, __ = self._execute_statement(statement, params, objective)
         return result
 
     def _execute_statement(
-        self, statement: SelectStatement, params: Sequence[Any]
+        self,
+        statement: SelectStatement,
+        params: Sequence[Any],
+        objective: PlanObjective | ServiceTier | str | None = None,
     ) -> tuple[QueryResult, PlanningResult]:
         tracer = self.tracer
+        resolved = self._resolve_objective(objective)
         # Open the trace before the cache lookup so its hit/miss event
         # lands inside this query's span tree (the PreparedQuery path —
         # query()/explain_analyze() already opened it around parsing).
@@ -527,13 +672,14 @@ class PayLess:
             )
         try:
             key = self.plan_cache.statement_key(
-                statement, params, self._planner_fingerprint()
+                statement, params, self._planner_fingerprint(resolved)
             )
             entry = self.plan_cache.lookup(key)
             if entry is not None:
                 return self._execute(
                     entry.logical,
                     planning=replace(entry.planning, cache_status="hit"),
+                    objective=resolved,
                 )
             logical = analyze(statement, self.context, params)
         except BaseException:
@@ -542,11 +688,15 @@ class PayLess:
             if tracer.enabled and tracer.active is not None:
                 tracer.end_query()
             raise
-        return self._execute(logical, cache_key=key)
+        return self._execute(logical, cache_key=key, objective=resolved)
 
-    def execute_logical(self, logical: LogicalQuery) -> QueryResult:
+    def execute_logical(
+        self,
+        logical: LogicalQuery,
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ) -> QueryResult:
         """Run an already-compiled query (the benchmark harness fast path)."""
-        result, __ = self._execute(logical)
+        result, __ = self._execute(logical, objective=objective)
         return result
 
     def _execute(
@@ -554,9 +704,11 @@ class PayLess:
         logical: LogicalQuery,
         planning: PlanningResult | None = None,
         cache_key: Any = _UNSET,
+        objective: PlanObjective | ServiceTier | str | None = None,
     ) -> tuple[QueryResult, PlanningResult]:
         tracer = self.tracer
         tracing = tracer.enabled
+        resolved = self._resolve_objective(objective)
         # query()/explain_analyze() open the trace around parsing; a
         # directly-executed logical query opens it here instead.
         if tracing and tracer.active is None:
@@ -565,15 +717,15 @@ class PayLess:
             if planning is None and cache_key is _UNSET:
                 # execute_logical() path: key on the logical query itself.
                 cache_key = self.plan_cache.logical_key(
-                    logical, self._planner_fingerprint()
+                    logical, self._planner_fingerprint(resolved)
                 )
                 entry = self.plan_cache.lookup(cache_key)
                 if entry is not None:
                     planning = replace(entry.planning, cache_status="hit")
             if planning is None:
-                planning = Optimizer(self.context, self.options).optimize(
-                    logical
-                )
+                planning = Optimizer(
+                    self.context, self._options_for(resolved)
+                ).optimize(logical)
                 planning.cache_status = (
                     "miss" if self.plan_cache.enabled else "off"
                 )

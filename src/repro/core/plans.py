@@ -24,6 +24,10 @@ class PlanNode:
     relations: frozenset[str]
     cost: float
     estimated_rows: float
+    #: Estimated wall-clock of this subtree's market calls, run serially,
+    #: under the planning context's latency model (0 for free subtrees).
+    #: The second axis of the planner's money-latency Pareto frontier.
+    latency_ms: float = 0.0
 
     def leaves(self) -> Iterator["PlanNode"]:
         yield self
@@ -123,6 +127,15 @@ class JoinNode(PlanNode):
         lines.append(self.left.describe(indent + 2))
         lines.append(self.right.describe(indent + 2))
         return "\n".join(lines)
+
+
+def plan_latency(plan: PlanNode) -> float:
+    """Estimated serial wall-clock (ms) of the plan's market calls."""
+    total = 0.0
+    for leaf in plan.leaves():
+        if isinstance(leaf, MarketAccessNode):
+            total += leaf.latency_ms
+    return total
 
 
 def plan_price(plan: PlanNode) -> float:

@@ -18,17 +18,30 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.core.objectives import PlanObjective, ServiceTier
 from repro.core.payless import PayLess, QueryResult
 from repro.errors import SqlAnalysisError
 from repro.sqlparser.ast import SelectStatement
 
 
 class PreparedQuery:
-    """A parsed SQL template awaiting parameter values."""
+    """A parsed SQL template awaiting parameter values.
 
-    def __init__(self, payless: PayLess, sql: str):
+    ``objective`` (at construction or per ``execute``/``explain`` call)
+    plans the template under that objective or service tier; the plan
+    cache keeps per-objective entries, so one template alternating
+    between tiers never serves one tier's plan to the other.
+    """
+
+    def __init__(
+        self,
+        payless: PayLess,
+        sql: str,
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ):
         self.payless = payless
         self.sql = sql
+        self.objective = objective
         self._statement: SelectStatement = payless.plan_cache.parse_sql(sql)
         self.executions = 0
         self.total_transactions = 0
@@ -37,21 +50,37 @@ class PreparedQuery:
     def parameter_count(self) -> int:
         return self._statement.parameter_count
 
-    def execute(self, params: Sequence[Any] = ()) -> QueryResult:
+    def execute(
+        self,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ) -> QueryResult:
         """Bind ``params`` and run the template."""
         if len(params) != self.parameter_count:
             raise SqlAnalysisError(
                 f"template has {self.parameter_count} parameters, "
                 f"{len(params)} values given"
             )
-        result = self.payless.execute_statement(self._statement, params)
+        result = self.payless.execute_statement(
+            self._statement,
+            params,
+            objective if objective is not None else self.objective,
+        )
         self.executions += 1
         self.total_transactions += result.stats.transactions
         return result
 
-    def explain(self, params: Sequence[Any] = ()):
+    def explain(
+        self,
+        params: Sequence[Any] = (),
+        objective: PlanObjective | ServiceTier | str | None = None,
+    ):
         """Optimize (without executing) for one parameter binding."""
-        return self.payless._plan_statement(self._statement, params)[0]
+        return self.payless._plan_statement(
+            self._statement,
+            params,
+            objective if objective is not None else self.objective,
+        )[0]
 
     def __repr__(self) -> str:
         return (

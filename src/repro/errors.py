@@ -117,6 +117,29 @@ class PlanningError(ReproError):
     """The optimizer could not produce a feasible plan for a query."""
 
 
+class InfeasibleObjectiveError(PlanningError):
+    """No plan on the money-latency Pareto frontier satisfies the objective.
+
+    Raised when a bounded objective (``dollars_under_latency_ms`` /
+    ``latency_under_dollars``) is stricter than every enumerated complete
+    plan — there is deliberately no silent fallback to the unbounded
+    optimum.  ``frontier`` carries the enumerated ``(dollars, latency_ms)``
+    Pareto points so callers can report how far off the bound was, and
+    ``objective`` the :class:`~repro.core.objectives.PlanObjective` that
+    could not be met.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        objective=None,
+        frontier: tuple = (),
+    ):
+        super().__init__(message)
+        self.objective = objective
+        self.frontier = tuple(frontier)
+
+
 class ExecutionError(ReproError):
     """A plan failed during execution."""
 

@@ -38,6 +38,11 @@ class LatencyModel:
         if self.realtime_scale < 0:
             raise MarketError("realtime_scale cannot be negative")
 
+    @property
+    def is_instant(self) -> bool:
+        """Whether every call is modelled as taking zero wall-clock."""
+        return self.round_trip_ms == 0.0 and self.per_transaction_ms == 0.0
+
     def call_ms(self, transactions: int) -> float:
         """Simulated wall-clock of one call returning ``transactions`` pages."""
         if transactions < 0:

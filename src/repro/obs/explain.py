@@ -205,11 +205,46 @@ def _planner_line(planning: "PlanningResult") -> str:
     )
 
 
+#: Pareto points listed in EXPLAIN before eliding the rest.
+MAX_FRONTIER_POINTS = 6
+
+
+def _objective_lines(planning: "PlanningResult") -> list[str]:
+    """The objective / frontier / chosen-point block.
+
+    Empty under the default min-dollars objective, so historical EXPLAIN
+    output (and its goldens) stay byte-identical.
+    """
+    objective = getattr(planning, "objective", None)
+    if objective is None or objective.is_default:
+        return []
+    points = list(planning.frontier)
+    rendered = ", ".join(
+        f"(${_fmt(cost)}, {_fmt(latency)} ms)"
+        for cost, latency in points[:MAX_FRONTIER_POINTS]
+    )
+    hidden = len(points) - MAX_FRONTIER_POINTS
+    if hidden > 0:
+        rendered += f", … {hidden} more"
+    chosen = (
+        f"chosen: (${_fmt(planning.cost)}, "
+        f"{_fmt(planning.latency_ms)} ms)"
+    )
+    if planning.objective_note:
+        chosen += f" — {planning.objective_note}"
+    return [
+        f"objective: {objective.describe()}",
+        f"pareto frontier: {len(points)} point(s): {rendered}",
+        chosen,
+    ]
+
+
 def render_explain(planning: "PlanningResult", label: str | None = None) -> str:
     """The EXPLAIN rendering: estimated plan + coverage, market untouched."""
     lines = [f"EXPLAIN {label}" if label else "EXPLAIN"]
     _render_node(planning.plan, 0, lines, None)
     lines.append(_planner_line(planning))
+    lines.extend(_objective_lines(planning))
     lines.append(
         f"estimated: {_fmt(planning.cost)} transactions; "
         f"{planning.evaluated_plans} candidate plan(s) evaluated; "
@@ -240,10 +275,16 @@ def render_explain_analyze(
             f"({rate:,.0f} rows/sec)"
         )
     lines.append(_planner_line(planning))
+    lines.extend(_objective_lines(planning))
     lines.append(
         f"estimated: {_fmt(planning.cost)} transactions; "
         f"actual: {stats.transactions} transactions, "
         f"{stats.calls} call(s), ${stats.price:g}"
+    )
+    lines.append(
+        f"latency: est {_fmt(planning.latency_ms)} ms → "
+        f"actual {stats.market_time_ms:.1f} ms market "
+        f"(critical path {stats.market_time_critical_path_ms:.1f} ms)"
     )
     if stats.retries or stats.replays or stats.wasted_transactions:
         lines.append(

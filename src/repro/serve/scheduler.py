@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.core.objectives import ServiceTier
 from repro.core.payless import PayLess, QueryResult
 from repro.errors import AdmissionError, MarketError
 from repro.serve.singleflight import SingleflightGroup
@@ -61,6 +62,9 @@ class ServeConfig:
     admission_timeout_s: float | None = 30.0
     #: Coalesce overlapping in-flight market fetches (singleflight).
     coalesce: bool = True
+    #: Service tier of sessions that do not pick one explicitly
+    #: (``None`` = plan under the installation's default objective).
+    default_tier: ServiceTier | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -74,6 +78,12 @@ class ServeConfig:
             and self.admission_timeout_s < 0
         ):
             raise MarketError("admission_timeout_s cannot be negative")
+        if self.default_tier is not None and not isinstance(
+            self.default_tier, ServiceTier
+        ):
+            raise MarketError(
+                f"default_tier must be a ServiceTier, got {self.default_tier!r}"
+            )
 
 
 class QueryTicket:
@@ -122,11 +132,24 @@ class QueryTicket:
 
 
 class ServeSession:
-    """One tenant's handle onto the scheduler: submit + attribution."""
+    """One tenant's handle onto the scheduler: submit + attribution.
 
-    def __init__(self, scheduler: "QueryScheduler", name: str):
+    ``tier`` (a :class:`~repro.core.objectives.ServiceTier`) makes every
+    query of this session plan under the tier's objective — one shared
+    installation serves cost-sensitive and latency-sensitive tenants side
+    by side, and the plan cache keeps their plans apart (the objective is
+    part of every cache key).
+    """
+
+    def __init__(
+        self,
+        scheduler: "QueryScheduler",
+        name: str,
+        tier: ServiceTier | None = None,
+    ):
         self.scheduler = scheduler
         self.name = name
+        self.tier = tier
         #: FIFO of admitted-but-not-dispatched tickets of this session.
         self._waiting: deque[QueryTicket] = deque()
         #: Queries of this session currently on a worker.
@@ -166,7 +189,12 @@ class QueryScheduler:
         self, payless: PayLess, config: ServeConfig | None = None
     ):
         self.payless = payless
-        self.config = config or ServeConfig()
+        #: Without an explicit config, the singleflight default comes
+        #: from the installation's ``QueryOptions.coalesce``.
+        self.config = config or ServeConfig(
+            coalesce=getattr(payless, "query_options", None) is None
+            or payless.query_options.coalesce
+        )
         #: Wire (or unwire) the singleflight layer onto the shared
         #: planning context; the executor picks it up per table access.
         self.coalescer = (
@@ -195,13 +223,33 @@ class QueryScheduler:
 
     # -- sessions -------------------------------------------------------------
 
-    def session(self, name: str) -> ServeSession:
-        """Get or create the serving session for ``name``."""
+    def session(
+        self, name: str, tier: ServiceTier | str | None = None
+    ) -> ServeSession:
+        """Get or create the serving session for ``name``.
+
+        ``tier`` — a :class:`ServiceTier` or a built-in tier name
+        (``"economy"``, ``"interactive"``, ``"realtime"``) — pins the
+        session's planning objective; omitted, a new session inherits
+        :attr:`ServeConfig.default_tier`.  Re-fetching an existing
+        session with a *different* tier raises: a tenant's tier is part
+        of its identity, not a per-call flag.
+        """
+        if isinstance(tier, str):
+            tier = ServiceTier.named(tier)
         key = name.lower()
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
-                session = self._sessions[key] = ServeSession(self, name)
+                session = self._sessions[key] = ServeSession(
+                    self, name, tier if tier is not None else self.config.default_tier
+                )
+            elif tier is not None and session.tier != tier:
+                raise MarketError(
+                    f"session {name!r} already exists with tier "
+                    f"{session.tier and session.tier.name!r}; "
+                    f"requested {tier.name!r}"
+                )
             return session
 
     @property
@@ -261,7 +309,14 @@ class QueryScheduler:
                     return
                 session, ticket = self._ready.popleft()
             try:
-                result = self.payless.query(ticket.sql, ticket.params)
+                # Only pass the objective when the session has a tier, so
+                # duck-typed installations without the kwarg keep working.
+                if session.tier is not None:
+                    result = self.payless.query(
+                        ticket.sql, ticket.params, objective=session.tier
+                    )
+                else:
+                    result = self.payless.query(ticket.sql, ticket.params)
             except BaseException as error:  # noqa: BLE001 - relayed to waiter
                 ticket._error = error
                 result = None

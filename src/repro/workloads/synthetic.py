@@ -35,7 +35,7 @@ from repro.relational.types import AttributeType as T
 
 SHAPES = ("chain", "star", "clique")
 
-#: Integer domain of every join attribute: values in [1, DOMAIN_HIGH].
+#: Default integer domain of every join attribute: values in [1, DOMAIN_HIGH].
 DOMAIN_HIGH = 4
 #: Rows sampled per table when the full cross product would be too big.
 SAMPLED_ROWS = 24
@@ -86,18 +86,21 @@ def _columns_for(shape: str, index: int, n: int) -> list[str]:
     raise ReproError(f"unknown join-graph shape {shape!r}; pick one of {SHAPES}")
 
 
-def _rows_for(columns: list[str], rng: random.Random) -> list[tuple]:
+def _rows_for(
+    columns: list[str], rng: random.Random, domain_high: int
+) -> list[tuple]:
     if len(columns) == 1:
-        return [(value,) for value in range(1, DOMAIN_HIGH + 1)]
-    if len(columns) == 2:  # small cross product, fully materialized
+        return [(value,) for value in range(1, domain_high + 1)]
+    if len(columns) == 2 and domain_high <= DOMAIN_HIGH:
+        # Small cross product, fully materialized.
         return [
             (a, b)
-            for a in range(1, DOMAIN_HIGH + 1)
-            for b in range(1, DOMAIN_HIGH + 1)
+            for a in range(1, domain_high + 1)
+            for b in range(1, domain_high + 1)
         ]
     return [
-        tuple(rng.randint(1, DOMAIN_HIGH) for __ in columns)
-        for __ in range(SAMPLED_ROWS)
+        tuple(rng.randint(1, domain_high) for __ in columns)
+        for __ in range(max(SAMPLED_ROWS, domain_high))
     ]
 
 
@@ -134,10 +137,21 @@ def make_join_graph(
     n: int,
     tuples_per_transaction: int = 10,
     seed: int = 0,
+    domain_high: int = DOMAIN_HIGH,
 ) -> SyntheticJoinData:
-    """Publish a ``shape`` join graph of ``n`` market tables as one dataset."""
+    """Publish a ``shape`` join graph of ``n`` market tables as one dataset.
+
+    ``domain_high`` sets the join-attribute domain ``[1, domain_high]``
+    (and with it the table sizes).  The default keeps tables tiny, which
+    makes every plan's latency proportional to its price; raise it so
+    direct fetches grow transaction-heavy while bind joins stay
+    per-call-dominated — the regime where the money-latency Pareto
+    frontier has more than one point.
+    """
     if n < 1:
         raise ReproError(f"a join graph needs at least one table, got n={n}")
+    if domain_high < 1:
+        raise ReproError(f"domain_high must be >= 1, got {domain_high}")
     rng = random.Random(seed)
     dataset = Dataset(
         f"SYN_{shape.upper()}{n}",
@@ -149,7 +163,7 @@ def make_join_graph(
         columns = _columns_for(shape, index, n)
         schema = Schema(
             [
-                Attribute(column, T.INT, Domain.numeric(1, DOMAIN_HIGH))
+                Attribute(column, T.INT, Domain.numeric(1, domain_high))
                 for column in columns
             ]
         )
@@ -157,7 +171,7 @@ def make_join_graph(
             name, ", ".join(f"{column}f" for column in columns)
         )
         dataset.add_table(
-            Table(name, schema, _rows_for(columns, rng)), pattern
+            Table(name, schema, _rows_for(columns, rng, domain_high)), pattern
         )
         tables.append(name)
     return SyntheticJoinData(

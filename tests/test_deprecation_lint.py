@@ -1,0 +1,80 @@
+"""Deprecation lint: the library must not call its own deprecated API.
+
+The old scattered ``PayLess(...)`` keywords (``transport=``,
+``engine=``, ``max_concurrent_calls=``, ``prune_bounding_boxes=``) and
+``options=OptimizerOptions(...)`` survive for callers behind
+``DeprecationWarning`` forwarders — but every internal construction
+site must use :class:`~repro.core.objectives.QueryOptions`.  CI runs
+this file as the deprecation-lint step.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Keyword arguments of ``PayLess(...)`` that only exist for backward
+#: compatibility.  ``options=`` itself is fine — unless the value is a
+#: literal ``OptimizerOptions(...)`` construction (checked separately).
+DEPRECATED_KWARGS = frozenset(
+    ("transport", "engine", "max_concurrent_calls", "prune_bounding_boxes")
+)
+
+
+def _callee_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _payless_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _callee_name(node) in (
+            "PayLess",
+            "full",
+            "minimizing_calls",
+            "without_sqr",
+            "without_theorems",
+        ):
+            yield node
+
+
+def _violations() -> list[str]:
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for call in _payless_calls(tree):
+            for keyword in call.keywords:
+                where = f"{path.relative_to(SRC.parent)}:{call.lineno}"
+                if keyword.arg in DEPRECATED_KWARGS:
+                    problems.append(
+                        f"{where}: deprecated PayLess kwarg "
+                        f"{keyword.arg!r} — fold it into QueryOptions"
+                    )
+                elif (
+                    keyword.arg == "options"
+                    and isinstance(keyword.value, ast.Call)
+                    and _callee_name(keyword.value) == "OptimizerOptions"
+                ):
+                    problems.append(
+                        f"{where}: PayLess(options=OptimizerOptions(...)) is "
+                        "deprecated — construct a QueryOptions"
+                    )
+    return problems
+
+
+def test_internal_code_avoids_deprecated_payless_kwargs():
+    problems = _violations()
+    assert not problems, "\n".join(problems)
+
+
+def test_lint_actually_detects_violations():
+    # Guard the guard: a synthetic violation must be caught.
+    tree = ast.parse("PayLess(market, engine='reference')")
+    calls = list(_payless_calls(tree))
+    assert calls and any(k.arg == "engine" for k in calls[0].keywords)

@@ -1,0 +1,247 @@
+"""The unified configuration surface: PlanObjective / ServiceTier /
+QueryOptions, plus the deprecation forwarders off the old scattered
+``PayLess(...)`` keywords.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.objectives import (
+    MIN_DOLLARS,
+    SERVICE_TIERS,
+    PlanObjective,
+    QueryOptions,
+    ServiceTier,
+)
+from repro.core.optimizer import OptimizerOptions
+from repro.errors import PlanningError
+from repro.market.faults import FaultPolicy
+from repro.market.transport import TransportConfig
+from repro.testing import registered_payless, tiny_weather_market
+
+
+class TestPlanObjective:
+    def test_default_is_min_dollars(self):
+        assert PlanObjective().is_default
+        assert PlanObjective.min_dollars() is MIN_DOLLARS
+        assert not PlanObjective.min_latency().is_default
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(kind="fastest"),
+            dict(kind="dollars_under_latency_ms"),  # missing bound
+            dict(kind="dollars_under_latency_ms", latency_bound_ms=0),
+            dict(kind="dollars_under_latency_ms", latency_bound_ms=-5),
+            dict(kind="latency_under_dollars"),  # missing bound
+            dict(kind="latency_under_dollars", dollar_bound=-1),
+            dict(kind="min_latency", latency_bound_ms=100),  # wrong kind
+            dict(kind="min_dollars", dollar_bound=5),  # wrong kind
+            dict(kind="weighted", dollar_weight=-1),
+            dict(kind="weighted", dollar_weight=0, latency_weight_per_ms=0),
+        ],
+    )
+    def test_invalid_combinations_raise(self, bad):
+        with pytest.raises(PlanningError):
+            PlanObjective(**bad)
+
+    def test_parse_round_trips_every_kind(self):
+        assert PlanObjective.parse("min_dollars") is MIN_DOLLARS
+        assert PlanObjective.parse("min_latency").kind == "min_latency"
+        bounded = PlanObjective.parse("dollars_under_latency_ms:500")
+        assert bounded.latency_bound_ms == 500.0
+        budget = PlanObjective.parse("latency_under_dollars:12.5")
+        assert budget.dollar_bound == 12.5
+        blended = PlanObjective.parse("weighted:0.25")
+        assert blended.latency_weight_per_ms == 0.25
+        assert PlanObjective.parse("weighted").latency_weight_per_ms == 0.01
+
+    @pytest.mark.parametrize(
+        "text",
+        ["sharpest", "dollars_under_latency_ms", "latency_under_dollars:abc"],
+    )
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(PlanningError):
+            PlanObjective.parse(text)
+
+    def test_fingerprints_distinguish_objectives(self):
+        objectives = [
+            MIN_DOLLARS,
+            PlanObjective.min_latency(),
+            PlanObjective.dollars_under_latency_ms(500),
+            PlanObjective.dollars_under_latency_ms(501),
+            PlanObjective.latency_under_dollars(500),
+            PlanObjective.weighted(),
+            PlanObjective.weighted(latency_weight_per_ms=0.02),
+        ]
+        fingerprints = {o.fingerprint() for o in objectives}
+        assert len(fingerprints) == len(objectives)
+
+    def test_describe_is_human_readable(self):
+        assert "500" in PlanObjective.dollars_under_latency_ms(500).describe()
+        assert "$" in PlanObjective.latency_under_dollars(3).describe()
+        assert str(PlanObjective.min_latency()) == "min_latency"
+
+
+class TestServiceTier:
+    def test_builtin_tiers(self):
+        assert set(SERVICE_TIERS) == {"economy", "interactive", "realtime"}
+        assert SERVICE_TIERS["economy"].objective is MIN_DOLLARS
+        assert SERVICE_TIERS["realtime"].objective.kind == "min_latency"
+        interactive = SERVICE_TIERS["interactive"].objective
+        assert interactive.kind == "dollars_under_latency_ms"
+        assert interactive.latency_bound_ms == 2000.0
+
+    def test_named_lookup_is_case_insensitive(self):
+        assert ServiceTier.named("Realtime") is SERVICE_TIERS["realtime"]
+        with pytest.raises(PlanningError):
+            ServiceTier.named("platinum")
+
+    def test_tier_validation(self):
+        with pytest.raises(PlanningError):
+            ServiceTier("", MIN_DOLLARS)
+        with pytest.raises(PlanningError):
+            ServiceTier("custom", "min_latency")  # must be a PlanObjective
+
+
+class TestQueryOptions:
+    def test_optimizer_options_mapping(self):
+        options = QueryOptions(
+            use_sqr=False,
+            cost_metric="calls",
+            max_bind_attrs=1,
+            prune=False,
+            plan_cache_size=7,
+            objective=PlanObjective.min_latency(),
+        )
+        derived = options.optimizer_options()
+        assert derived.use_sqr is False
+        assert derived.objective == "calls"
+        assert derived.max_bind_attrs == 1
+        assert derived.prune is False
+        assert derived.plan_cache_size == 7
+        assert derived.plan_objective.kind == "min_latency"
+
+    def test_transport_config_defaults_to_none(self):
+        assert QueryOptions().transport_config() is None
+
+    def test_transport_convenience_fields_overlay(self):
+        options = QueryOptions(
+            fault_rate=0.25, fault_seed=11, max_retries=2, partial_results=True
+        )
+        config = options.transport_config()
+        assert config is not None
+        assert config.max_retries == 2
+        assert config.partial_results is True
+        assert config.faults is not None
+
+    def test_explicit_transport_passes_through(self):
+        transport = TransportConfig(max_retries=9)
+        options = QueryOptions(transport=transport)
+        assert options.transport_config() is transport
+        overlaid = QueryOptions(transport=transport, max_retries=1)
+        assert overlaid.transport_config().max_retries == 1
+
+    def test_validation_fails_fast(self):
+        with pytest.raises(PlanningError):
+            QueryOptions(objective="min_latency")  # must be a PlanObjective
+        with pytest.raises(PlanningError):
+            QueryOptions(fault_rate=1.5)
+
+    def test_from_optimizer_options_round_trip(self):
+        legacy = OptimizerOptions(use_sqr=False, objective="calls", prune=False)
+        adapted = QueryOptions.from_optimizer_options(legacy)
+        assert adapted.use_sqr is False
+        assert adapted.cost_metric == "calls"
+        assert adapted.prune is False
+        assert adapted.optimizer_options() == legacy
+
+    def test_with_objective(self):
+        base = QueryOptions()
+        fast = base.with_objective(PlanObjective.min_latency())
+        assert fast.objective.kind == "min_latency"
+        assert base.objective is MIN_DOLLARS  # frozen original untouched
+
+
+class TestDeprecationForwarders:
+    """Old keyword spellings keep working, but warn at the call site."""
+
+    def _payless(self, **kwargs):
+        market = tiny_weather_market()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            payless = registered_payless(market, **kwargs)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        return payless, deprecations
+
+    def test_optimizer_options_still_accepted(self):
+        payless, warned = self._payless(
+            options=OptimizerOptions(use_sqr=False)
+        )
+        assert warned, "OptimizerOptions should trigger a DeprecationWarning"
+        assert payless.query_options.use_sqr is False
+        assert payless.options.use_sqr is False
+
+    def test_transport_kwarg_still_accepted(self):
+        transport = TransportConfig(max_retries=2)
+        payless, warned = self._payless(transport=transport)
+        assert warned
+        assert payless.transport_config.max_retries == 2
+
+    def test_engine_kwarg_still_accepted(self):
+        payless, warned = self._payless(engine="reference")
+        assert warned
+        assert payless.query_options.engine == "reference"
+
+    def test_prune_bounding_boxes_kwarg_still_accepted(self):
+        payless, warned = self._payless(prune_bounding_boxes=False)
+        assert warned
+        assert payless.query_options.prune_bounding_boxes is False
+        assert payless.rewriter.prune is False
+
+    def test_max_concurrent_calls_kwarg_still_accepted(self):
+        payless, warned = self._payless(max_concurrent_calls=3)
+        assert warned
+        assert payless.query_options.max_concurrent_calls == 3
+
+    def test_query_options_path_is_warning_free(self):
+        payless, warned = self._payless(
+            options=QueryOptions(use_sqr=False, engine="reference")
+        )
+        assert not warned
+        assert payless.query_options.engine == "reference"
+
+    def test_warning_points_at_the_caller(self):
+        market = tiny_weather_market()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.PayLess(market, engine="reference")
+        warning = next(
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        )
+        assert warning.filename == __file__
+
+
+class TestPackageExports:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "PlanObjective",
+            "QueryOptions",
+            "ServiceTier",
+            "SERVICE_TIERS",
+            "InfeasibleObjectiveError",
+            "LatencyModel",
+            "DEFAULT_LATENCY",
+            "INSTANT",
+        ],
+    )
+    def test_new_names_exported(self, name):
+        assert hasattr(repro, name)
+        assert name in repro.__all__
