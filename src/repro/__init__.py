@@ -20,7 +20,12 @@ pieces most users need:
   :class:`~repro.core.objectives.ServiceTier` steering the planner's
   money-latency Pareto frontier (see
   :class:`~repro.errors.InfeasibleObjectiveError` and the market's
-  :class:`~repro.market.latency.LatencyModel`).
+  :class:`~repro.market.latency.LatencyModel`);
+* :class:`~repro.durable.DurabilityConfig` /
+  :class:`~repro.durable.DurableStateBackend` — crash-safe WAL-backed
+  buyer state behind ``QueryOptions(durability=...)``: every purchase is
+  durable the moment it is billed, and restarts replay snapshot + WAL
+  (see :mod:`repro.durable`).
 """
 
 from repro.core.objectives import (
@@ -31,6 +36,11 @@ from repro.core.objectives import (
 )
 from repro.core.optimizer import OptimizerOptions
 from repro.core.payless import Explanation, PayLess, QueryResult, QueryStats
+from repro.durable import (
+    DurabilityConfig,
+    DurableStateBackend,
+    RecoveryReport,
+)
 from repro.market.latency import DEFAULT_LATENCY, INSTANT, LatencyModel
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import QueryTrace, Tracer
@@ -74,6 +84,8 @@ __all__ = [
     "DEFAULT_LATENCY",
     "Domain",
     "DownloadAllStrategy",
+    "DurabilityConfig",
+    "DurableStateBackend",
     "ExecutionConfig",
     "ExecutionError",
     "Explanation",
@@ -93,6 +105,7 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "QueryTrace",
+    "RecoveryReport",
     "REGISTRY",
     "ReproError",
     "RetryExhaustedError",

@@ -119,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="service tier preset for every serving session "
         "(only meaningful with --workers > 1; overrides --objective)",
     )
+    session.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable WAL-backed buyer state: purchases, statistics, and "
+        "the bill survive crashes and restarts; rerunning with the same "
+        "DIR resumes (and re-buys nothing already covered)",
+    )
 
     explain = commands.add_parser(
         "explain", help="optimize a SQL query and print the plan"
@@ -211,6 +217,7 @@ def _cmd_session_concurrent(args: argparse.Namespace, data, instances) -> int:
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
         objective=_objective_of(args),
+        state_dir=args.state_dir,
     )
     tier = ServiceTier.named(args.tier) if args.tier else None
     config = ServeConfig(
@@ -230,6 +237,7 @@ def _cmd_session_concurrent(args: argparse.Namespace, data, instances) -> int:
             except Exception as error:  # noqa: BLE001 - reported, not fatal
                 failures += 1
                 print(f"  query failed: {error}", file=sys.stderr)
+    payless.close()
     print()
     print(scheduler.spend_report())
     coalesced = payless.market.ledger.coalesced_savings
@@ -263,6 +271,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
         objective=_objective_of(args),
+        state_dir=args.state_dir,
     )
     print()
     print(

@@ -110,6 +110,11 @@ class PlanningContext:
         #: Wired by :class:`~repro.serve.scheduler.QueryScheduler`; the
         #: executor consults it per remainder call.
         self.coalescer = None
+        #: Durable WAL backend (``None`` = in-memory only).  Wired by
+        #: :class:`~repro.core.payless.PayLess` when ``QueryOptions``
+        #: carries a durability config; the executor journals purchases
+        #: through it inside the record→release window.
+        self.durability = None
         self._local_info: dict[str, LocalTableInfo] = {}
         self._dataset_of: dict[str, str] = {}
         self._schemas: dict[str, Schema] = {}

@@ -462,7 +462,9 @@ class Executor:
         # are one atomic switch-over from any other session's view.
         failed: list[FailedFetch] = []
         purchased_rows = 0
+        purchases_logged = False
         coalescer = self.context.coalescer
+        durability = self.context.durability
         with table_store.lock:
             for remainder, outcome in zip(rewrite.remainder, outcomes):
                 if isinstance(outcome, FailedFetch):
@@ -476,6 +478,29 @@ class Executor:
                 statistics.histogram.observe(
                     remainder.box, response.record_count
                 )
+                if durability is not None:
+                    durability.log_purchase(
+                        table=table,
+                        box=remainder.box,
+                        rows=response.rows,
+                        count=response.record_count,
+                        stored_at=store.clock,
+                        url=response.request.url(),
+                        key=outcome.idempotency_key,
+                        transactions=outcome.billed_transactions,
+                        price=outcome.billed_price,
+                        coalesced=outcome.coalesced,
+                        saved_transactions=outcome.saved_transactions,
+                        saved_price=outcome.saved_price,
+                    )
+                    purchases_logged = True
+            if purchases_logged:
+                # Group commit inside the record→release window: once any
+                # other session can see these rows (or a waiter is
+                # released), the purchases that produced them are durable.
+                # Fully-covered accesses skip it — they appended nothing,
+                # and bookkeeping records ride the next money commit.
+                durability.commit()
             if coalescer is not None:
                 for flight in lead_flights:
                     coalescer.release(flight)

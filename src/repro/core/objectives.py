@@ -39,7 +39,10 @@ from typing import TYPE_CHECKING
 from repro.errors import PlanningError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
     from repro.core.optimizer import OptimizerOptions
+    from repro.durable.backend import DurabilityConfig
     from repro.market.transport import TransportConfig
 
 
@@ -334,6 +337,12 @@ class QueryOptions:
     fault_rate: float = 0.0
     fault_seed: int = 0
 
+    # -- durability -----------------------------------------------------------
+    #: Crash-safe state: a state directory path (str/Path) or a full
+    #: :class:`~repro.durable.backend.DurabilityConfig`.  ``None`` keeps
+    #: the installation in-memory only (the historical behaviour).
+    durability: "DurabilityConfig | str | Path | None" = None
+
     def __post_init__(self) -> None:
         if not isinstance(self.objective, PlanObjective):
             raise PlanningError(
@@ -362,6 +371,16 @@ class QueryOptions:
             plan_cache_size=self.plan_cache_size,
             plan_objective=self.objective,
         )
+
+    def durability_config(self):
+        """The durable backend's view (None = in-memory only)."""
+        if self.durability is None:
+            return None
+        from repro.durable.backend import DurabilityConfig
+
+        if isinstance(self.durability, DurabilityConfig):
+            return self.durability
+        return DurabilityConfig(state_dir=self.durability)
 
     def transport_config(self) -> "TransportConfig | None":
         """The money-safe transport's view (None = library defaults)."""

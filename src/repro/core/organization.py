@@ -136,6 +136,20 @@ class Organization:
             results[entry.ticket] = result
         return results
 
+    def recover(self):
+        """Rebuild the installation's durable state (see PayLess.recover)."""
+        return self.payless.recover()
+
+    def close(self) -> None:
+        """Clean shutdown of the shared installation's durable state."""
+        self.payless.close()
+
+    def __enter__(self) -> "Organization":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def spend_report(self) -> str:
         """Per-user attribution of the organization's market spend."""
         lines = [f"{self.name}: {self.payless.bill()}"]

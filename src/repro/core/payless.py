@@ -368,12 +368,33 @@ class PayLess:
         self.total_price = 0.0
         self.total_calls = 0
         self.queries_executed = 0
+        #: The failure/savings side of the money picture — the buckets the
+        #: v1 JSON persistence silently dropped (tracked here so durable
+        #: restarts resume the full split, not just the spent series).
+        self.total_wasted_transactions = 0
+        self.total_wasted_price = 0.0
+        self.total_coalesced_fetches = 0
+        self.total_coalesced_transactions = 0
+        self.total_coalesced_price = 0.0
         #: Per-query history (most recent last); see :class:`QueryLogEntry`.
         self.history: list[QueryLogEntry] = []
         #: Guards the running totals and the history list: under the
         #: concurrent serving front-end (:mod:`repro.serve`) many worker
         #: threads finish queries against this one installation.
         self._accounting_lock = threading.Lock()
+        #: Durable WAL backend (``None`` = in-memory only); see
+        #: :mod:`repro.durable`.  Built here so every layer — executor,
+        #: transport, store clock — shares the one instance.
+        self.durability = None
+        durability_config = self.query_options.durability_config()
+        if durability_config is not None:
+            from repro.durable.backend import DurableStateBackend
+
+            self.durability = DurableStateBackend(durability_config)
+            self.durability.attach(self)
+            self.context.durability = self.durability
+            self.context.transport.durability = self.durability
+            self.store.on_clock_advance = self.durability.log_clock
 
     @staticmethod
     def _coerce_options(
@@ -747,6 +768,13 @@ class PayLess:
             self.total_price += execution.price
             self.total_calls += execution.calls
             self.queries_executed += 1
+            self.total_wasted_transactions += execution.wasted_transactions
+            self.total_wasted_price += execution.wasted_price
+            self.total_coalesced_fetches += execution.coalesced_fetches
+            self.total_coalesced_transactions += (
+                execution.coalesced_savings_transactions
+            )
+            self.total_coalesced_price += execution.coalesced_savings_price
             self.history.append(
                 QueryLogEntry(
                     sequence=self.queries_executed,
@@ -757,6 +785,13 @@ class PayLess:
                     used_bind_join=_has_bind(planning.plan),
                 )
             )
+        durability = self.durability
+        if durability is not None:
+            # Journal the query's totals delta (group-committing it), then
+            # compact if the WAL grew past the threshold — here at the
+            # query boundary, where no table lock is held.
+            durability.log_query(execution)
+            durability.maybe_compact()
         trace = tracer.end_query() if tracing else None
         metrics = self.metrics
         metrics.counter("queries").inc()
@@ -814,6 +849,34 @@ class PayLess:
         from repro.core.batch import execute_batch
 
         return execute_batch(self, batch)
+
+    # -- durability lifecycle ---------------------------------------------------------
+
+    def recover(self):
+        """Rebuild durable state: snapshot + WAL replay + intent roll-forward.
+
+        Call after dataset registration and before the first query (a
+        no-op without a durability config).  Returns the
+        :class:`~repro.durable.backend.RecoveryReport`, or ``None`` when
+        the installation is in-memory only.
+        """
+        if self.durability is None:
+            return None
+        return self.durability.recover(self)
+
+    def close(self) -> None:
+        """Clean shutdown: group-commit and snapshot the durable state.
+
+        Safe to call repeatedly and without a durability config.
+        """
+        if self.durability is not None:
+            self.durability.close()
+
+    def __enter__(self) -> "PayLess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- the Download-All comparison ------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Persisting a PayLess installation across sessions.
+"""Persisting a PayLess installation across sessions (legacy JSON blob).
 
 The whole economics of PayLess rests on *never* re-buying data it already
 holds — which only works if the semantic store (and the learned statistics)
@@ -12,28 +12,45 @@ Usage::
     ...
     payless = PayLess.full(market); payless.register_dataset("WHW")
     load_state(payless, "buyer_state.json")   # merges into the fresh install
+
+This all-or-nothing blob is the *compatibility* path.  It is only durable
+at the moment ``save_state`` runs — everything since the last save dies
+with a crash — and its v1 format silently dropped the wasted/coalesced
+sides of the bill.  The crash-safe path is the write-ahead log in
+:mod:`repro.durable` (``QueryOptions(durability=...)``); ``load_state``
+on a WAL-backed installation still works, importing the legacy JSON into
+the WAL's snapshot format (with a warning).  The v2 format written here
+adds the previously-dropped billing buckets; v1 files load with those
+buckets defaulting to zero.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.core.payless import PayLess
+from repro.durable.records import (
+    box_from_json,
+    box_to_json,
+    cover_from_json,
+    cover_to_json,
+)
 from repro.errors import ReproError
 from repro.semstore.boxes import Box
-from repro.semstore.store import CoveredBox
-from repro.stats.isomer import _Refined
 
-FORMAT_VERSION = 1
+#: v1 = store + histograms + spent totals only; v2 adds the wasted and
+#: coalesced buckets v1 silently dropped.  Both load.
+FORMAT_VERSION = 2
 
 
 def _box_to_json(box: Box) -> list[list[int]]:
-    return [list(extent) for extent in box.extents]
+    return box_to_json(box)
 
 
 def _box_from_json(data: list[list[int]]) -> Box:
-    return Box(tuple((low, high) for low, high in data))
+    return box_from_json(data)
 
 
 def save_state(payless: PayLess, path: str | Path) -> None:
@@ -45,22 +62,10 @@ def save_state(payless: PayLess, path: str | Path) -> None:
         statistics = payless.catalog.statistics(key)
         histogram_state = None
         if isinstance(statistics.histogram, FeedbackHistogram):
-            histogram_state = {
-                "cardinality": statistics.histogram.cardinality,
-                "feedback_count": statistics.histogram.feedback_count,
-                "refined": [
-                    {"box": _box_to_json(refined.box), "count": refined.count}
-                    for refined in statistics.histogram._refined  # noqa: SLF001
-                ],
-            }
+            histogram_state = statistics.histogram.state_snapshot()
         tables[key] = {
             "covered": [
-                {
-                    "box": _box_to_json(covered.box),
-                    "stored_at": covered.stored_at,
-                    "row_count": covered.row_count,
-                }
-                for covered in table_store.covered
+                cover_to_json(covered) for covered in table_store.covered
             ],
             "rows": [list(row) for row in table_store._rows],  # noqa: SLF001
             # Only the default (ISOMER-style) statistic serializes; other
@@ -75,6 +80,11 @@ def save_state(payless: PayLess, path: str | Path) -> None:
             "price": payless.total_price,
             "calls": payless.total_calls,
             "queries": payless.queries_executed,
+            "wasted_transactions": payless.total_wasted_transactions,
+            "wasted_price": payless.total_wasted_price,
+            "coalesced_fetches": payless.total_coalesced_fetches,
+            "coalesced_transactions": payless.total_coalesced_transactions,
+            "coalesced_price": payless.total_coalesced_price,
         },
         "tables": tables,
     }
@@ -87,11 +97,14 @@ def load_state(payless: PayLess, path: str | Path) -> None:
     Every table in the file must already be registered (re-register the
     datasets first); the file's rows and coverage are merged into the
     store, the histograms are restored, and the bill counters resume.
+    Accepts both v1 and v2 files (v1's missing wasted/coalesced buckets
+    default to zero — the information is simply not in the file).
     """
     state = json.loads(Path(path).read_text())
-    if state.get("version") != FORMAT_VERSION:
+    version = state.get("version")
+    if version not in (1, FORMAT_VERSION):
         raise ReproError(
-            f"unsupported state version {state.get('version')!r}"
+            f"unsupported state version {version!r}"
         )
     for key, table_state in state["tables"].items():
         if not payless.store.has_table(key):
@@ -108,13 +121,7 @@ def load_state(payless: PayLess, path: str | Path) -> None:
         for row in rows:
             table_store.restore_row(row)
         for covered in table_state["covered"]:
-            table_store.restore_cover(
-                CoveredBox(
-                    box=_box_from_json(covered["box"]),
-                    stored_at=covered["stored_at"],
-                    row_count=covered["row_count"],
-                )
-            )
+            table_store.restore_cover(cover_from_json(covered))
         from repro.stats.isomer import FeedbackHistogram
 
         histogram = payless.catalog.statistics(key).histogram
@@ -122,15 +129,35 @@ def load_state(payless: PayLess, path: str | Path) -> None:
         if histogram_state is not None and isinstance(
             histogram, FeedbackHistogram
         ):
-            histogram.cardinality = histogram_state["cardinality"]
-            histogram.feedback_count = histogram_state["feedback_count"]
-            histogram._refined = [  # noqa: SLF001
-                _Refined(box=_box_from_json(r["box"]), count=r["count"])
-                for r in histogram_state["refined"]
-            ]
+            histogram.restore_state(
+                histogram_state["cardinality"],
+                histogram_state["feedback_count"],
+                [
+                    (box_from_json(r["box"]), r["count"])
+                    for r in histogram_state["refined"]
+                ],
+            )
     payless.store.clock = state["clock"]
     totals = state["totals"]
     payless.total_transactions = totals["transactions"]
     payless.total_price = totals["price"]
     payless.total_calls = totals["calls"]
     payless.queries_executed = totals["queries"]
+    payless.total_wasted_transactions = totals.get("wasted_transactions", 0)
+    payless.total_wasted_price = totals.get("wasted_price", 0.0)
+    payless.total_coalesced_fetches = totals.get("coalesced_fetches", 0)
+    payless.total_coalesced_transactions = totals.get(
+        "coalesced_transactions", 0
+    )
+    payless.total_coalesced_price = totals.get("coalesced_price", 0.0)
+    if payless.durability is not None:
+        # Importing the legacy blob into a WAL-backed installation: make
+        # the merged state durable immediately by snapshotting it into the
+        # WAL state dir, so the next restart recovers it without the JSON.
+        warnings.warn(
+            "load_state() on a WAL-backed installation imports the legacy "
+            "JSON into the WAL state dir; future restarts should use "
+            "payless.recover() instead",
+            stacklevel=2,
+        )
+        payless.durability.snapshot()

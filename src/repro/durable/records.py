@@ -1,0 +1,77 @@
+"""JSON shapes shared by the WAL records and the snapshot/legacy formats.
+
+Boxes, covered regions, histogram state and REST requests all need a
+stable JSON form in three places — WAL records, compacted snapshots, and
+the legacy v1/v2 blob of :mod:`repro.core.persistence` — so the
+encoders/decoders live here, importable by both without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.query import AttributeConstraint
+from repro.market.rest import RestRequest
+from repro.semstore.boxes import Box
+from repro.semstore.store import CoveredBox
+
+
+def box_to_json(box: Box) -> list[list[int]]:
+    return [list(extent) for extent in box.extents]
+
+
+def box_from_json(data: list[list[int]]) -> Box:
+    return Box(tuple((low, high) for low, high in data))
+
+
+def cover_to_json(covered: CoveredBox) -> dict[str, Any]:
+    return {
+        "box": box_to_json(covered.box),
+        "stored_at": covered.stored_at,
+        "row_count": covered.row_count,
+    }
+
+
+def cover_from_json(data: dict[str, Any]) -> CoveredBox:
+    return CoveredBox(
+        box=box_from_json(data["box"]),
+        stored_at=data["stored_at"],
+        row_count=data["row_count"],
+    )
+
+
+def constraint_to_json(constraint: AttributeConstraint) -> dict[str, Any]:
+    """One REST-expressible constraint (point or range; never a set)."""
+    if constraint.value is not None:
+        return {"a": constraint.attribute, "v": constraint.value}
+    return {"a": constraint.attribute, "lo": constraint.low, "hi": constraint.high}
+
+
+def constraint_from_json(data: dict[str, Any]) -> AttributeConstraint:
+    if "v" in data:
+        return AttributeConstraint(data["a"], value=data["v"])
+    return AttributeConstraint(data["a"], low=data["lo"], high=data["hi"])
+
+
+def request_to_json(request: RestRequest) -> dict[str, Any]:
+    return {
+        "d": request.dataset,
+        "tbl": request.table,
+        "c": [constraint_to_json(c) for c in request.constraints],
+    }
+
+
+def request_from_json(data: dict[str, Any]) -> RestRequest:
+    return RestRequest(
+        data["d"],
+        data["tbl"],
+        tuple(constraint_from_json(c) for c in data["c"]),
+    )
+
+
+def rows_to_json(rows: Any) -> list[list[Any]]:
+    return [list(row) for row in rows]
+
+
+def rows_from_json(data: list[list[Any]]) -> list[tuple]:
+    return [tuple(row) for row in data]

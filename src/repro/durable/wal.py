@@ -1,0 +1,179 @@
+"""The write-ahead log: length+CRC framed JSON records, torn-tail safe.
+
+One WAL segment is a flat file of frames::
+
+    [4-byte length LE] [4-byte crc32 LE] [length bytes of UTF-8 JSON]
+
+Appends are unbuffered ``write(2)`` calls, so a record is OS-visible the
+moment :meth:`WriteAheadLog.append` returns — that is the durability a
+*process* kill can test.  Power-loss durability is the fsync policy's
+job: ``"always"`` fsyncs every append, ``"commit"`` fsyncs only at group
+commit points (:meth:`WriteAheadLog.commit`), and ``"os"`` never fsyncs.
+
+Recovery reads a segment with :func:`iter_records`, which stops at the
+first incomplete or checksum-mismatched frame — a *torn tail* from a
+kill mid-write — and reports the byte offset of the valid prefix so the
+backend can truncate the tail before appending again.  A torn record can
+only be the last one: appends are serialized under the backend's lock,
+so nothing is ever written after the frame the crash interrupted.
+
+``crash_hook`` is the chaos suite's kill switch: when set, every append
+consults it and, if it returns a byte count, writes exactly that many
+bytes of the frame (0 = crash before the record, ``len(frame)`` = crash
+after the record but before the caller is acknowledged, anything in
+between = a torn record) and raises :class:`SimulatedCrash`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable
+
+#: Frame header: payload length, then crc32 of the payload bytes.
+HEADER = struct.Struct("<II")
+
+#: The fsync policies :class:`WriteAheadLog` understands.
+FSYNC_POLICIES = ("always", "commit", "os")
+
+
+class SimulatedCrash(BaseException):
+    """Raised by an armed ``crash_hook`` to simulate a buyer-process kill.
+
+    Deliberately a :class:`BaseException`: the executor and transport
+    catch :class:`Exception`/``TransportError`` to degrade gracefully,
+    but a killed process does not degrade — the crash must unwind all the
+    way out of the query, exactly like ``KeyboardInterrupt`` would.
+    """
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """Frame one JSON payload: header + compact UTF-8 JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def iter_records(data: bytes) -> tuple[list[dict[str, Any]], int]:
+    """Decode ``data`` into records, stopping at the first torn frame.
+
+    Returns ``(records, valid_offset)`` where ``valid_offset`` is the
+    length of the longest decodable prefix — everything past it is a torn
+    tail (truncated header, short body, or CRC mismatch) and must be
+    discarded before the segment is appended to again.
+    """
+    records: list[dict[str, Any]] = []
+    offset = 0
+    size = len(data)
+    while offset + HEADER.size <= size:
+        length, checksum = HEADER.unpack_from(data, offset)
+        body_start = offset + HEADER.size
+        body_end = body_start + length
+        if body_end > size:
+            break
+        body = data[body_start:body_end]
+        if zlib.crc32(body) != checksum:
+            break
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        records.append(payload)
+        offset = body_end
+    return records, offset
+
+
+class WriteAheadLog:
+    """One open, append-only WAL segment.
+
+    Writes are unbuffered; :meth:`append` optionally fsyncs per record
+    (the ``"always"`` policy) and :meth:`commit` is the group-commit
+    point that fsyncs once for every record appended since the last
+    commit (the ``"commit"`` policy).  Not thread-safe on its own — the
+    owning backend serializes appends under its lock.
+    """
+
+    def __init__(self, path: str | Path, fsync: str = "commit"):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; pick one of {FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        #: Chaos kill switch: ``hook(payload, frame) -> int | None``.
+        #: ``None`` lets the append proceed; an int writes that many bytes
+        #: of the frame and raises :class:`SimulatedCrash`.
+        self.crash_hook: Callable[[dict, bytes], int | None] | None = None
+        self._file = open(self.path, "ab", buffering=0)  # noqa: SIM115
+        self._dirty = False
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def append(self, payload: dict[str, Any], sync: bool = False) -> None:
+        """Append one framed record (OS-visible on return).
+
+        ``sync=True`` forces an fsync for this record regardless of
+        policy — the backend uses it for intent records under the
+        ``"commit"`` policy, because an intent *is* a commit point: it
+        must be durable before the market call it covers can bill.
+        """
+        frame = encode_record(payload)
+        hook = self.crash_hook
+        if hook is not None:
+            cut = hook(payload, frame)
+            if cut is not None:
+                cut = max(0, min(cut, len(frame)))
+                if cut:
+                    self._file.write(frame[:cut])
+                raise SimulatedCrash(
+                    f"simulated kill after {cut}/{len(frame)} bytes of a "
+                    f"{payload.get('t', '?')} record"
+                )
+        self._file.write(frame)
+        if self.fsync == "always" or (sync and self.fsync != "os"):
+            os.fsync(self._file.fileno())
+            self._dirty = False
+        else:
+            self._dirty = True
+
+    def commit(self) -> None:
+        """Group commit: one fsync covering every append since the last."""
+        if self.fsync == "always" or self.fsync == "os" or not self._dirty:
+            return
+        if not self._file.closed:
+            os.fsync(self._file.fileno())
+        self._dirty = False
+
+    def close(self, final_sync: bool = True) -> None:
+        if self._file.closed:
+            return
+        if final_sync and self.fsync != "os" and self._dirty:
+            os.fsync(self._file.fileno())
+            self._dirty = False
+        self._file.close()
+
+    @staticmethod
+    def truncate_torn_tail(path: str | Path) -> tuple[list[dict], int]:
+        """Read a segment, truncating any torn tail in place.
+
+        Returns the decoded records and the (possibly shortened) segment
+        length.  Safe to call on a segment that is about to be reopened
+        for append — recovery's first step.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        records, valid = iter_records(data)
+        if valid != len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+        return records, valid
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({self.path.name}, fsync={self.fsync!r})"

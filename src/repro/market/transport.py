@@ -40,6 +40,7 @@ import itertools
 import threading
 from dataclasses import dataclass
 
+from repro.durable.wal import SimulatedCrash
 from repro.errors import (
     MarketError,
     MarketUnavailableError,
@@ -281,6 +282,10 @@ class FetchResult:
     coalesced: bool = False
     saved_transactions: int = 0
     saved_price: float = 0.0
+    #: The idempotency key this call billed under (``None`` without keys).
+    #: With a durability backend attached, this is the WAL intent key the
+    #: executor's purchase record resolves.
+    idempotency_key: str | None = None
 
     @property
     def retries(self) -> int:
@@ -327,6 +332,11 @@ class MarketTransport:
         self._url_sequence: dict[str, int] = {}
         self._sequence_lock = threading.Lock()
         self._transport_id = next(_TRANSPORT_IDS)
+        #: Optional :class:`~repro.durable.backend.DurableStateBackend`.
+        #: When set, every billable call journals a durable intent first
+        #: and uses the intent's idempotency key, so a crash between
+        #: billing and acknowledgment is recoverable (wired by PayLess).
+        self.durability = None
 
     # -- clock & breakers ------------------------------------------------------
 
@@ -405,26 +415,54 @@ class MarketTransport:
         if scope is None:
             scope = self.new_scope()
         faults = self.faults
+        durability = self.durability
         if faults is None:
             # Fast path: no injection, one attempt, no key.  Keeps the
             # fault-free overhead at one attribute check and stays
             # compatible with tests that monkeypatch ``market.get``.
             # The simulated clock is not advanced: it exists only to time
             # breaker cooldowns, and breakers never trip without faults.
-            response = self.market.get(request)
+            if durability is None:
+                response = self.market.get(request)
+                return FetchResult(
+                    response=response,
+                    attempts=1,
+                    elapsed_ms=response.elapsed_ms,
+                    billed_transactions=response.transactions,
+                    billed_price=response.price,
+                )
+            key = durability.begin_intent(request)
+            try:
+                response = self.market.get(request, idempotency_key=key)
+            except SimulatedCrash:
+                raise
+            except BaseException:
+                # The market rejected the call without billing (bad
+                # binding, unknown table): resolve the intent so recovery
+                # does not buy what this run never did.
+                durability.log_abort(key)
+                raise
             return FetchResult(
                 response=response,
                 attempts=1,
                 elapsed_ms=response.elapsed_ms,
                 billed_transactions=response.transactions,
                 billed_price=response.price,
+                idempotency_key=key,
             )
         config = self.config
         breaker = self.breaker_for(request.dataset)
         call_key = self._call_key(request)
-        key = (
-            f"t{self._transport_id}:{call_key}" if config.idempotency else None
-        )
+        if durability is not None:
+            # The durable intent key replaces the transport-local key: it
+            # must be the same key recovery re-issues under after a crash.
+            # Fault outcomes stay keyed by ``call_key``, so chaos runs are
+            # deterministic regardless of the key scheme.
+            key = durability.begin_intent(request)
+        elif config.idempotency:
+            key = f"t{self._transport_id}:{call_key}"
+        else:
+            key = None
         latency = self.market.latency
         attempts = 0
         elapsed_ms = 0.0
@@ -444,6 +482,17 @@ class MarketTransport:
                 wasted_transactions = billed.transactions
                 wasted_price = billed.price
             scope.note_failed_call()
+            if durability is not None and key is not None:
+                if billed is not None:
+                    # Money left the account but the data never arrived:
+                    # resolve the intent into the wasted bucket.
+                    durability.log_wasted(
+                        key, billed.transactions, billed.price
+                    )
+                else:
+                    # Never billed: resolve the intent so recovery does
+                    # not spend money this run never spent.
+                    durability.log_abort(key)
             # Simulated wall-clock burned before giving up: the executor's
             # makespan accounting charges failed calls honestly too.
             error.elapsed_ms = elapsed_ms
@@ -454,99 +503,115 @@ class MarketTransport:
             error.wasted_price = wasted_price
             return error
 
-        while True:
-            if not breaker.allow(self.now_ms()):
-                raise fail(
-                    MarketUnavailableError(
-                        f"circuit open for dataset {request.dataset!r}; "
-                        f"{request!r} refused without contacting the market"
-                    )
-                )
-            attempts += 1
-            kind = faults.outcome(call_key, attempts)
-            try:
-                if kind in (FaultKind.OK, FaultKind.DROPPED_RESPONSE):
-                    # The request reaches the server: it executes and bills
-                    # (or replays a previously billed key for free).
-                    if key is not None:
-                        response = self.market.get(
-                            request, idempotency_key=key
-                        )
-                    else:
-                        response = self.market.get(request)
-                    replayed = key is not None and billed is not None
-                    if replayed:
-                        scope.note_replay()
-                    else:
-                        billed_transactions += response.transactions
-                        billed_price += response.price
-                    attempt_ms = (
-                        latency.call_ms(0) if replayed else response.elapsed_ms
-                    )
-                    if kind is FaultKind.DROPPED_RESPONSE:
-                        if key is not None:
-                            billed = billed if replayed else response
-                        wait = faults.timeout_ms
-                        elapsed_ms += wait
-                        self.advance_clock(wait)
-                        raise faults.fault_for(kind, call_key)
-                    elapsed_ms += attempt_ms
-                    self.advance_clock(attempt_ms)
-                    if faults.duplicated(call_key, attempts):
-                        # The network delivered the request twice.  With a
-                        # key the second execution replays for free; the
-                        # naive client pays for it all over again.
-                        if key is not None:
-                            self.market.get(request, idempotency_key=key)
-                            scope.note_replay()
-                        else:
-                            duplicate = self.market.get(request)
-                            billed_transactions += duplicate.transactions
-                            billed_price += duplicate.price
-                        dup_ms = latency.call_ms(0)
-                        elapsed_ms += dup_ms
-                        self.advance_clock(dup_ms)
-                    breaker.on_success()
-                    return FetchResult(
-                        response=response,
-                        attempts=attempts,
-                        elapsed_ms=elapsed_ms,
-                        replayed=replayed,
-                        billed_transactions=billed_transactions,
-                        billed_price=billed_price,
-                    )
-                # Pure transport failures: the server never billed.
-                if kind is FaultKind.TIMEOUT:
-                    wait = faults.timeout_ms
-                else:  # SERVER_ERROR and THROTTLE answer after a round trip
-                    wait = latency.call_ms(0)
-                elapsed_ms += wait
-                self.advance_clock(wait)
-                raise faults.fault_for(kind, call_key)
-            except InjectedFault as fault:
-                scope.note_fault()
-                breaker.on_failure(self.now_ms())
-                if attempts > config.max_retries:
-                    raise fail(
-                        RetryExhaustedError(
-                            f"{request!r} failed {attempts} attempts "
-                            f"(last: {fault})",
-                            attempts=attempts,
-                            last_fault=fault,
-                        )
-                    ) from fault
-                if not scope.consume_retry():
+        try:
+            while True:
+                if not breaker.allow(self.now_ms()):
                     raise fail(
                         MarketUnavailableError(
-                            f"per-query retry budget "
-                            f"({scope.retry_budget}) exhausted at "
-                            f"{request!r}"
+                            f"circuit open for dataset {request.dataset!r}; "
+                            f"{request!r} refused without contacting the "
+                            f"market"
                         )
-                    ) from fault
-                backoff = self._backoff_ms(call_key, attempts, fault)
-                scope.note_backoff(backoff)
-                elapsed_ms += backoff
-                self.advance_clock(backoff)
+                    )
+                attempts += 1
+                kind = faults.outcome(call_key, attempts)
+                try:
+                    if kind in (FaultKind.OK, FaultKind.DROPPED_RESPONSE):
+                        # The request reaches the server: it executes and
+                        # bills (or replays a previously billed key for
+                        # free).
+                        if key is not None:
+                            response = self.market.get(
+                                request, idempotency_key=key
+                            )
+                        else:
+                            response = self.market.get(request)
+                        replayed = key is not None and billed is not None
+                        if replayed:
+                            scope.note_replay()
+                        else:
+                            billed_transactions += response.transactions
+                            billed_price += response.price
+                        attempt_ms = (
+                            latency.call_ms(0)
+                            if replayed
+                            else response.elapsed_ms
+                        )
+                        if kind is FaultKind.DROPPED_RESPONSE:
+                            if key is not None:
+                                billed = billed if replayed else response
+                            wait = faults.timeout_ms
+                            elapsed_ms += wait
+                            self.advance_clock(wait)
+                            raise faults.fault_for(kind, call_key)
+                        elapsed_ms += attempt_ms
+                        self.advance_clock(attempt_ms)
+                        if faults.duplicated(call_key, attempts):
+                            # The network delivered the request twice.
+                            # With a key the second execution replays for
+                            # free; the naive client pays all over again.
+                            if key is not None:
+                                self.market.get(request, idempotency_key=key)
+                                scope.note_replay()
+                            else:
+                                duplicate = self.market.get(request)
+                                billed_transactions += duplicate.transactions
+                                billed_price += duplicate.price
+                            dup_ms = latency.call_ms(0)
+                            elapsed_ms += dup_ms
+                            self.advance_clock(dup_ms)
+                        breaker.on_success()
+                        return FetchResult(
+                            response=response,
+                            attempts=attempts,
+                            elapsed_ms=elapsed_ms,
+                            replayed=replayed,
+                            billed_transactions=billed_transactions,
+                            billed_price=billed_price,
+                            idempotency_key=key,
+                        )
+                    # Pure transport failures: the server never billed.
+                    if kind is FaultKind.TIMEOUT:
+                        wait = faults.timeout_ms
+                    else:  # SERVER_ERROR / THROTTLE answer after one trip
+                        wait = latency.call_ms(0)
+                    elapsed_ms += wait
+                    self.advance_clock(wait)
+                    raise faults.fault_for(kind, call_key)
+                except InjectedFault as fault:
+                    scope.note_fault()
+                    breaker.on_failure(self.now_ms())
+                    if attempts > config.max_retries:
+                        raise fail(
+                            RetryExhaustedError(
+                                f"{request!r} failed {attempts} attempts "
+                                f"(last: {fault})",
+                                attempts=attempts,
+                                last_fault=fault,
+                            )
+                        ) from fault
+                    if not scope.consume_retry():
+                        raise fail(
+                            MarketUnavailableError(
+                                f"per-query retry budget "
+                                f"({scope.retry_budget}) exhausted at "
+                                f"{request!r}"
+                            )
+                        ) from fault
+                    backoff = self._backoff_ms(call_key, attempts, fault)
+                    scope.note_backoff(backoff)
+                    elapsed_ms += backoff
+                    self.advance_clock(backoff)
+        except SimulatedCrash:
+            # A simulated kill never resolves intents — that is the point.
+            raise
+        except BaseException:
+            # Anything ``fail()`` did not already resolve (market
+            # rejections escape the loop directly); a no-op when the
+            # intent was resolved on the way out.
+            if durability is not None and key is not None:
+                durability.log_abort(key)
+            raise
 
     def __repr__(self) -> str:
         mode = "faulty" if self.faults is not None else "clean"

@@ -82,13 +82,24 @@ class TableStore:
         self._next_cover_id: int = 0
         self._cover_index = BoxGridIndex(grid_extents)
         self._rows: list[Row] = []
-        self._row_set: set[Row] = set()
+        #: Dedup set over ``_rows``; ``None`` after a bulk adopt until the
+        #: first mutation needs it (hashing 100k restored rows costs more
+        #: than a cold restart should pay for a read-only workload).
+        self._row_set: set[Row] | None = set()
         #: Grid point of each cached row, computed once at insert time.
         self._points: list[tuple[int, ...] | None] = []
+        #: Columnar bulk payload adopted at cold restart, materialized
+        #: into ``_rows``/``_points`` on first touch (same idiom as
+        #: ``Relation``'s columnar backing): recovery hands back control
+        #: without paying for 100k row tuples the workload may not read.
+        self._deferred_bulk: dict | None = None
         self._point_index = PointGridIndex(grid_extents)
 
     @property
     def cached_row_count(self) -> int:
+        deferred = self._deferred_bulk
+        if deferred is not None:
+            return deferred["row_count"]
         return len(self._rows)
 
     @property
@@ -107,12 +118,14 @@ class TableStore:
         """Store a fetched region; returns how many rows were new."""
         with self.lock:
             self.epoch += 1
+            self._materialize_deferred()
             new = 0
             count = 0
+            row_set = self._ensure_row_set()
             for row in rows:
                 count += 1
-                if row not in self._row_set:
-                    self._row_set.add(row)
+                if row not in row_set:
+                    row_set.add(row)
                     self._point_index_insert(row)
                     new += 1
             # Consolidate the coverage set: a region subsumed by an
@@ -148,12 +161,158 @@ class TableStore:
     def restore_row(self, row: Row) -> bool:
         """Re-insert a persisted row; returns whether it was new."""
         with self.lock:
-            if row in self._row_set:
+            self._materialize_deferred()
+            row_set = self._ensure_row_set()
+            if row in row_set:
                 return False
             self.epoch += 1
-            self._row_set.add(row)
+            row_set.add(row)
             self._point_index_insert(row)
             return True
+
+    def bulk_restore(
+        self,
+        covers: Sequence[CoveredBox],
+        rows: Sequence[Row],
+        points: Sequence[tuple[int, ...] | None] | None = None,
+    ) -> None:
+        """Load a snapshot's worth of state in one lock/epoch transaction.
+
+        Unlike the per-item ``restore_*`` path this takes the lock once,
+        bumps the epoch once, and — when the snapshot carries the
+        precomputed grid ``points`` — skips :meth:`BoxSpace.row_point`
+        entirely, which is the dominant cost of a cold restart at scale.
+        Only valid on an empty table (it assumes no duplicate rows).
+        """
+        if points is not None and len(points) != len(rows):
+            raise ReproError("bulk_restore: points/rows length mismatch")
+        with self.lock:
+            if self._rows or self._covers or self._deferred_bulk is not None:
+                raise ReproError("bulk_restore requires an empty table")
+            self.epoch += 1
+            if points is None:
+                row_set = self._ensure_row_set()
+                for row in rows:
+                    row_set.add(row)
+                    self._point_index_insert(row)
+            else:
+                self._rows = list(rows)
+                self._points = list(points)
+                self._row_set = set(rows)
+                self._point_index.bulk_load(points)
+            if covers:
+                start_id = self._next_cover_id
+                for covered in covers:
+                    self._covers[self._next_cover_id] = covered
+                    self._next_cover_id += 1
+                self._cover_index.bulk_load(
+                    [covered.box for covered in covers], start_id=start_id
+                )
+
+    def export_bulk_state(self) -> dict:
+        """The table's whole persistent state as primitive containers.
+
+        Snapshots serialize this (e.g. with pickle) and feed it back to
+        :meth:`adopt_bulk_state` at cold restart, which re-inhales rows,
+        covers *and the prebuilt grid indexes* without re-deriving a
+        single bucket.  Copies are taken under the table lock, so the
+        caller may serialize at leisure."""
+        with self.lock:
+            self._materialize_deferred()
+            # Rows and points go out columnar / flattened: deserializing
+            # a handful of long primitive lists is several times faster
+            # than re-materializing 100k three-element tuples, and adopt
+            # rebuilds the tuples with one C-level zip.
+            points_flat: list[int] = []
+            points_none: list[int] = []
+            dims = 0
+            for row_id, point in enumerate(self._points):
+                if point is None:
+                    points_none.append(row_id)
+                else:
+                    points_flat.extend(point)
+                    dims = len(point)
+            return {
+                "covers": [
+                    (cover_id, covered.box.extents, covered.stored_at,
+                     covered.row_count)
+                    for cover_id, covered in self._covers.items()
+                ],
+                "next_cover_id": self._next_cover_id,
+                "row_columns": [
+                    list(column) for column in zip(*self._rows)
+                ],
+                "row_count": len(self._rows),
+                "points_flat": points_flat,
+                "points_none": points_none,
+                "dims": dims,
+                "point_index": self._point_index.export_state(),
+                "cover_index": self._cover_index.export_state(),
+            }
+
+    def adopt_bulk_state(self, state: dict) -> None:
+        """Adopt an exported state wholesale (one lock, one epoch bump).
+
+        Ownership of ``state`` transfers to the table — hand over a
+        freshly deserialized value.  Only valid on an empty table."""
+        with self.lock:
+            if self._rows or self._covers or self._deferred_bulk is not None:
+                raise ReproError("adopt_bulk_state requires an empty table")
+            self.epoch += 1
+            # Box.unchecked: the extents round-tripped from validated
+            # boxes (pickle preserves the tuples exactly), so re-running
+            # __post_init__ on tens of thousands of covers buys nothing.
+            self._covers = {
+                cover_id: CoveredBox(
+                    box=Box.unchecked(extents),
+                    stored_at=stored_at,
+                    row_count=row_count,
+                )
+                for cover_id, extents, stored_at, row_count in state["covers"]
+            }
+            self._next_cover_id = state["next_cover_id"]
+            # Rows/points stay columnar until something reads them; the
+            # grid indexes adopt now so coverage checks work immediately.
+            self._deferred_bulk = state
+            self._row_set = None  # rebuilt lazily on the first mutation
+            self._point_index.adopt_state(state["point_index"])
+            self._cover_index.adopt_state(state["cover_index"])
+
+    def _materialize_deferred(self) -> None:
+        """Build ``_rows``/``_points`` from a deferred bulk payload.
+
+        Runs at most once per adopt, on the first row-touching call;
+        callers must hold ``self.lock``."""
+        state = self._deferred_bulk
+        if state is None:
+            return
+        self._deferred_bulk = None
+        columns = state["row_columns"]
+        self._rows = list(zip(*columns)) if columns else []
+        points_flat = state["points_flat"]
+        dims = state["dims"]
+        if points_flat:
+            chunks = [iter(points_flat)] * dims
+            grid_points = list(zip(*chunks))
+        else:
+            grid_points = []
+        points_none = state["points_none"]
+        if points_none:
+            none_positions = set(points_none)
+            grid_iter = iter(grid_points)
+            self._points = [
+                None if row_id in none_positions else next(grid_iter)
+                for row_id in range(state["row_count"])
+            ]
+        else:
+            self._points = grid_points
+
+    def _ensure_row_set(self) -> set[Row]:
+        row_set = self._row_set
+        if row_set is None:
+            self._materialize_deferred()
+            row_set = self._row_set = set(self._rows)
+        return row_set
 
     def _append_cover(self, covered: CoveredBox) -> None:
         cover_id = self._next_cover_id
@@ -226,6 +385,7 @@ class TableStore:
     def rows_in_box(self, box: Box) -> list[Row]:
         """Cached rows whose grid point lies inside ``box``."""
         with self.lock:
+            self._materialize_deferred()
             if self.debug_bruteforce:
                 return [
                     row
@@ -246,6 +406,7 @@ class TableStore:
         if not boxes:
             return []
         with self.lock:
+            self._materialize_deferred()
             if self.debug_bruteforce:
                 return self._rows_in_boxes_bruteforce(boxes)
             points = self._points
@@ -265,6 +426,7 @@ class TableStore:
         value) are probed through an *anchor dimension* hash so each row
         checks only the handful of boxes sharing its anchor coordinate.
         """
+        self._materialize_deferred()
         if len(boxes) <= 16:
             return [
                 row
@@ -318,6 +480,12 @@ class TableStore:
         """Exact number of cached rows inside ``box``."""
         return len(self.rows_in_box(box))
 
+    def all_rows(self) -> list[Row]:
+        """Every cached row, in insertion order (a copy)."""
+        with self.lock:
+            self._materialize_deferred()
+            return list(self._rows)
+
 
 class SemanticStore:
     """The buyer-side store of everything ever retrieved from the market."""
@@ -334,6 +502,10 @@ class SemanticStore:
         #: Logical clock in weeks; the harness advances it to model time
         #: passing between query batches (only matters under X-week policy).
         self.clock: float = 0.0
+        #: Durability hook: called with the new clock value after every
+        #: :meth:`advance_clock` (wired by PayLess when a WAL backend is
+        #: active, so restarts restore the clock too).
+        self.on_clock_advance = None
 
     def register_table(self, space: BoxSpace, schema: Schema) -> TableStore:
         key = space.table.lower()
@@ -362,6 +534,8 @@ class SemanticStore:
         if weeks < 0:
             raise ReproError("the clock only moves forward")
         self.clock += weeks
+        if self.on_clock_advance is not None:
+            self.on_clock_advance(self.clock)
 
     # -- convenience pass-throughs using the store's policy & clock ---------
 

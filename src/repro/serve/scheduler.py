@@ -363,6 +363,11 @@ class QueryScheduler:
             thread.join()
         if self.payless.context.coalescer is self.coalescer:
             self.payless.context.coalescer = None
+        if getattr(self.payless, "durability", None) is not None:
+            # Workers are joined: nothing appends anymore, so this commit
+            # makes every served query durable (the snapshot itself is the
+            # installation's job — payless.close()).
+            self.payless.durability.commit()
 
     def __enter__(self) -> "QueryScheduler":
         return self

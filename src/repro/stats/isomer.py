@@ -142,6 +142,42 @@ class FeedbackHistogram:
         self._refined.sort(key=lambda refined: refined.box.volume(), reverse=True)
         self._refined = self._refined[: self.max_boxes // 2]
 
+    # -- persistence ------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """The histogram's learned state as plain JSON-ready data.
+
+        Paired with :meth:`restore_state`; the box JSON shape matches
+        :func:`repro.durable.records.box_to_json` so snapshots and the
+        legacy persistence blob share one format.
+        """
+        with self._lock:
+            return {
+                "cardinality": self.cardinality,
+                "feedback_count": self.feedback_count,
+                "refined": [
+                    {
+                        "box": [list(extent) for extent in refined.box.extents],
+                        "count": refined.count,
+                    }
+                    for refined in self._refined
+                ],
+            }
+
+    def restore_state(
+        self,
+        cardinality: int,
+        feedback_count: int,
+        refined: list[tuple[Box, float]],
+    ) -> None:
+        """Overwrite the learned state with a persisted one."""
+        with self._lock:
+            self.cardinality = cardinality
+            self.feedback_count = feedback_count
+            self._refined = [
+                _Refined(box=box, count=count) for box, count in refined
+            ]
+
     # -- introspection ----------------------------------------------------------
 
     @property

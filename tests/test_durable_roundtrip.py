@@ -1,0 +1,190 @@
+"""Property-based round trips: arbitrary workloads survive snapshot+WAL.
+
+For any interleaving of purchases, repeat queries, and clock advances,
+recovering from the durable state dir — whether the previous session
+closed cleanly (snapshot path) or was killed (WAL replay path) — must
+reconstruct the *entire* buyer state exactly: covered boxes, cached rows,
+the ISOMER histogram's refinement list, the logical clock, and every
+billing bucket.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PayLess, QueryOptions
+from repro.core.persistence import load_state, save_state
+from repro.durable.records import cover_to_json
+from repro.stats.isomer import FeedbackHistogram
+
+from tests.test_durability_chaos import make_market
+
+COUNTRIES = ("CountryA", "CountryB")
+
+
+def weather_sql(country: str, lo: int, hi: int) -> str:
+    return (
+        "SELECT StationID, Date, Temperature FROM Weather "
+        f"WHERE Country = '{country}' AND Date >= {lo} AND Date <= {hi}"
+    )
+
+
+def station_sql(country: str) -> str:
+    return f"SELECT StationID, City FROM Station WHERE Country = '{country}'"
+
+
+#: One operation: a Weather range query, a Station query, or a clock jump.
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("weather"),
+            st.sampled_from(COUNTRIES),
+            st.integers(min_value=1, max_value=10),
+            st.integers(min_value=0, max_value=4),
+        ),
+        st.tuples(st.just("station"), st.sampled_from(COUNTRIES)),
+        st.tuples(st.just("clock"), st.integers(min_value=1, max_value=5)),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def apply_ops(payless: PayLess, ops) -> None:
+    for op in ops:
+        if op[0] == "weather":
+            __, country, lo, span = op
+            payless.query(weather_sql(country, lo, min(lo + span, 10)))
+        elif op[0] == "station":
+            payless.query(station_sql(op[1]))
+        else:
+            payless.store.advance_clock(payless.store.clock + op[1])
+
+
+def capture(payless: PayLess) -> dict:
+    """Everything the backend promises to persist, exactly."""
+    state: dict = {"clock": payless.store.clock}
+    for key, table_store in payless.store._tables.items():  # noqa: SLF001
+        rows = table_store.all_rows()
+        with table_store.lock:
+            covers = [cover_to_json(c) for c in table_store._covers.values()]  # noqa: SLF001
+        histogram = payless.catalog.statistics(key).histogram
+        state[key] = {
+            "covers": sorted(covers, key=repr),
+            "rows": sorted(rows, key=repr),
+            "histogram": (
+                histogram.state_snapshot()
+                if isinstance(histogram, FeedbackHistogram)
+                else None
+            ),
+        }
+    state["totals"] = (
+        payless.total_transactions,
+        payless.total_price,
+        payless.total_calls,
+        payless.queries_executed,
+        payless.total_wasted_transactions,
+        payless.total_wasted_price,
+        payless.total_coalesced_fetches,
+        payless.total_coalesced_transactions,
+        payless.total_coalesced_price,
+    )
+    state["bill"] = payless.durability.bill.to_json()
+    return state
+
+
+def durable(market, state_dir) -> PayLess:
+    payless = PayLess.full(market, options=QueryOptions(durability=state_dir))
+    payless.register_dataset("WHW")
+    payless.recover()
+    return payless
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=ops_strategy, clean_close=st.booleans())
+    def test_any_workload_survives_restart(self, ops, clean_close):
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "state"
+            market = make_market()
+
+            first = durable(market, state_dir)
+            apply_ops(first, ops)
+            before = capture(first)
+            spent_before = market.ledger.spent.transactions
+            if clean_close:
+                first.close()  # snapshot path
+            else:
+                first.durability.abandon()  # kill: WAL replay path
+
+            second = durable(market, state_dir)
+            assert capture(second) == before
+            # Recovery itself must not touch the market.
+            assert market.ledger.spent.transactions == spent_before
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=ops_strategy)
+    def test_two_generations_compact_identically(self, ops):
+        """snapshot → more work → kill → replay-over-snapshot is exact."""
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "state"
+            market = make_market()
+
+            first = durable(market, state_dir)
+            apply_ops(first, ops)
+            first.durability.snapshot()
+            apply_ops(first, ops)  # repeats: cache hits + clock churn
+            before = capture(first)
+            first.durability.abandon()
+
+            second = PayLess.full(
+                market, options=QueryOptions(durability=state_dir)
+            )
+            second.register_dataset("WHW")
+            report = second.recover()
+            assert report.snapshot_loaded
+            assert capture(second) == before
+
+
+class TestLegacyShimRegression:
+    """The v1 JSON shim silently dropped the wasted/coalesced buckets; the
+    v2 format and the WAL backend must both carry them."""
+
+    def test_v2_json_keeps_all_buckets(self, mini_weather_market, tmp_path):
+        payless = PayLess.full(mini_weather_market)
+        payless.register_dataset("WHW")
+        payless.query(weather_sql("CountryA", 2, 5))
+        payless.total_wasted_transactions = 3
+        payless.total_wasted_price = 3.5
+        payless.total_coalesced_fetches = 2
+        payless.total_coalesced_transactions = 4
+        payless.total_coalesced_price = 4.25
+        save_state(payless, tmp_path / "state.json")
+
+        fresh = PayLess.full(mini_weather_market)
+        fresh.register_dataset("WHW")
+        load_state(fresh, tmp_path / "state.json")
+        assert fresh.total_wasted_transactions == 3
+        assert fresh.total_wasted_price == 3.5
+        assert fresh.total_coalesced_fetches == 2
+        assert fresh.total_coalesced_transactions == 4
+        assert fresh.total_coalesced_price == 4.25
+
+    def test_wal_backend_keeps_all_buckets(self, tmp_path):
+        market = make_market()
+        payless = durable(market, tmp_path / "state")
+        payless.query(weather_sql("CountryA", 2, 5))
+        payless.total_wasted_transactions = 3
+        payless.total_wasted_price = 3.5
+        payless.total_coalesced_fetches = 2
+        payless.total_coalesced_transactions = 4
+        payless.total_coalesced_price = 4.25
+        payless.close()
+
+        second = durable(market, tmp_path / "state")
+        assert second.total_wasted_transactions == 3
+        assert second.total_coalesced_price == 4.25

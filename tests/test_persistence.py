@@ -1,8 +1,10 @@
 """Save/load of the buyer-side state: the store must survive restarts."""
 
+import json
+
 import pytest
 
-from repro import PayLess
+from repro import PayLess, QueryOptions
 from repro.core.persistence import load_state, save_state
 from repro.errors import ReproError
 
@@ -58,6 +60,115 @@ class TestRoundTrip:
         second = fresh(mini_weather_market)
         load_state(second, tmp_path / "state.json")
         assert second.store.clock == 5
+
+
+class TestLegacyMigration:
+    """v1 files (and v2 files with legacy quirks) keep loading — into both
+    plain installations and WAL-backed ones."""
+
+    def _as_v1(self, path):
+        """Rewrite a saved v2 file into the v1 shape: version 1, no
+        wasted/coalesced buckets."""
+        state = json.loads(path.read_text())
+        state["version"] = 1
+        for bucket in (
+            "wasted_transactions",
+            "wasted_price",
+            "coalesced_fetches",
+            "coalesced_transactions",
+            "coalesced_price",
+        ):
+            state["totals"].pop(bucket, None)
+        path.write_text(json.dumps(state))
+
+    def test_v1_file_loads_with_zero_buckets(
+        self, mini_weather_market, tmp_path
+    ):
+        first = fresh(mini_weather_market)
+        initial = first.query(SQL)
+        path = tmp_path / "state.json"
+        save_state(first, path)
+        self._as_v1(path)
+
+        second = fresh(mini_weather_market)
+        load_state(second, path)
+        assert second.total_transactions == first.total_transactions
+        assert second.total_wasted_transactions == 0
+        assert second.total_coalesced_price == 0.0
+        repeat = second.query(SQL)
+        assert repeat.transactions == 0
+        assert sorted(repeat.rows) == sorted(initial.rows)
+
+    def test_v1_non_feedback_histogram_entry(
+        self, mini_weather_market, tmp_path
+    ):
+        # v1 writers stored ``null`` for tables whose statistic was not a
+        # FeedbackHistogram; the store still restores, the histogram just
+        # re-learns from scratch.
+        first = fresh(mini_weather_market)
+        first.query(SQL)
+        path = tmp_path / "state.json"
+        save_state(first, path)
+        state = json.loads(path.read_text())
+        state["version"] = 1
+        for table_state in state["tables"].values():
+            table_state["histogram"] = None
+        path.write_text(json.dumps(state))
+
+        second = fresh(mini_weather_market)
+        load_state(second, path)
+        assert second.query(SQL).transactions == 0
+        histogram = second.catalog.statistics("Weather").histogram
+        assert histogram.feedback_count == 0
+
+    def test_v1_unregistered_table_errors_on_wal_backend(
+        self, mini_weather_market, tmp_path
+    ):
+        first = fresh(mini_weather_market)
+        first.query(SQL)
+        path = tmp_path / "state.json"
+        save_state(first, path)
+        self._as_v1(path)
+
+        bare = PayLess.full(
+            mini_weather_market,
+            options=QueryOptions(durability=tmp_path / "state"),
+        )
+        bare.recover()
+        with pytest.raises(ReproError, match="unregistered table"):
+            load_state(bare, path)
+
+    def test_load_state_on_wal_backend_warns_then_recovers_without_json(
+        self, mini_weather_market, tmp_path
+    ):
+        legacy = fresh(mini_weather_market)
+        initial = legacy.query(SQL)
+        path = tmp_path / "state.json"
+        save_state(legacy, path)
+        self._as_v1(path)
+
+        state_dir = tmp_path / "state"
+        imported = PayLess.full(
+            mini_weather_market, options=QueryOptions(durability=state_dir)
+        )
+        imported.register_dataset("WHW")
+        imported.recover()
+        with pytest.warns(UserWarning, match="WAL-backed"):
+            load_state(imported, path)
+        assert imported.query(SQL).transactions == 0
+        imported.close()
+        path.unlink()  # the JSON is gone; the WAL state dir carries on
+
+        survivor = PayLess.full(
+            mini_weather_market, options=QueryOptions(durability=state_dir)
+        )
+        survivor.register_dataset("WHW")
+        report = survivor.recover()
+        assert report.snapshot_loaded
+        repeat = survivor.query(SQL)
+        assert repeat.transactions == 0
+        assert sorted(repeat.rows) == sorted(initial.rows)
+        assert survivor.total_transactions == legacy.total_transactions
 
 
 class TestErrors:

@@ -1,0 +1,157 @@
+"""Unit tests for the WAL framing layer: encode/decode, torn tails,
+fsync policies, and the simulated-crash hook."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.durable.wal import (
+    HEADER,
+    SimulatedCrash,
+    WriteAheadLog,
+    encode_record,
+    iter_records,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payloads = [
+            {"t": "buy", "rows": [[1, "a", 2.5]], "n": 1},
+            {"t": "clk", "c": 3.0},
+            {"t": "in", "k": "i00aa.0", "u": "/x?y=1"},
+        ]
+        data = b"".join(encode_record(p) for p in payloads)
+        records, valid = iter_records(data)
+        assert records == payloads
+        assert valid == len(data)
+
+    def test_empty(self):
+        assert iter_records(b"") == ([], 0)
+
+    def test_torn_header_stops_at_prefix(self):
+        good = encode_record({"t": "clk", "c": 1.0})
+        records, valid = iter_records(good + b"\x05\x00")
+        assert records == [{"t": "clk", "c": 1.0}]
+        assert valid == len(good)
+
+    def test_torn_body_stops_at_prefix(self):
+        good = encode_record({"t": "clk", "c": 1.0})
+        torn = encode_record({"t": "buy", "rows": [[1, 2, 3]]})[:-4]
+        records, valid = iter_records(good + torn)
+        assert records == [{"t": "clk", "c": 1.0}]
+        assert valid == len(good)
+
+    def test_corrupt_crc_stops_at_prefix(self):
+        good = encode_record({"t": "clk", "c": 1.0})
+        bad = bytearray(encode_record({"t": "clk", "c": 2.0}))
+        bad[-1] ^= 0xFF  # flip a payload byte; the CRC no longer matches
+        records, valid = iter_records(good + bytes(bad))
+        assert records == [{"t": "clk", "c": 1.0}]
+        assert valid == len(good)
+
+    def test_crc_matching_garbage_json_stops(self):
+        # A frame whose CRC is self-consistent but whose body is not JSON
+        # (e.g. the overwritten middle of a recycled sector) is torn too.
+        body = b"\x00\x01\x02 not json"
+        import zlib
+
+        frame = HEADER.pack(len(body), zlib.crc32(body)) + body
+        records, valid = iter_records(frame)
+        assert records == []
+        assert valid == 0
+
+    def test_every_truncation_point_is_safe(self):
+        payloads = [{"t": "clk", "c": float(i)} for i in range(4)]
+        data = b"".join(encode_record(p) for p in payloads)
+        boundaries = []
+        offset = 0
+        for p in payloads:
+            offset += len(encode_record(p))
+            boundaries.append(offset)
+        for cut in range(len(data) + 1):
+            records, valid = iter_records(data[:cut])
+            # The decoded prefix is exactly the records whose frames fit.
+            whole = sum(1 for b in boundaries if b <= cut)
+            assert len(records) == whole
+            assert records == payloads[:whole]
+            assert valid == (boundaries[whole - 1] if whole else 0)
+
+
+class TestWriteAheadLog:
+    def test_append_is_os_visible_without_close(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path, fsync="os")
+        log.append({"t": "clk", "c": 1.0})
+        # Unbuffered writes: visible to other readers before close/fsync.
+        records, __ = iter_records(path.read_bytes())
+        assert records == [{"t": "clk", "c": 1.0}]
+        log.close()
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_commit_clears_dirty(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.log", fsync="commit")
+        log.append({"t": "clk", "c": 1.0})
+        assert log._dirty
+        log.commit()
+        assert not log._dirty
+        log.close()
+
+    def test_truncate_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        good = encode_record({"t": "clk", "c": 1.0})
+        path.write_bytes(good + b"\x99\x00\x00\x00garbage")
+        records, valid = WriteAheadLog.truncate_torn_tail(path)
+        assert records == [{"t": "clk", "c": 1.0}]
+        assert valid == len(good)
+        assert path.stat().st_size == len(good)
+        # Appending after truncation yields a clean two-record segment.
+        log = WriteAheadLog(path, fsync="os")
+        log.append({"t": "clk", "c": 2.0})
+        log.close()
+        records, valid = iter_records(path.read_bytes())
+        assert [r["c"] for r in records] == [1.0, 2.0]
+
+
+class TestCrashHook:
+    def test_hook_cut_points(self, tmp_path):
+        payload = {"t": "buy", "rows": [[1, 2]], "n": 1}
+        frame = encode_record(payload)
+        for cut in (0, 1, HEADER.size, len(frame) - 1, len(frame)):
+            path = tmp_path / f"wal-{cut}.log"
+            log = WriteAheadLog(path, fsync="os")
+            log.crash_hook = lambda p, f, cut=cut: cut
+            with pytest.raises(SimulatedCrash):
+                log.append(payload)
+            log.close(final_sync=False)
+            assert path.stat().st_size == cut
+            records, valid = iter_records(path.read_bytes())
+            if cut == len(frame):
+                assert records == [payload]
+            else:
+                assert records == []
+                assert valid == 0
+
+    def test_simulated_crash_escapes_except_exception(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.log", fsync="os")
+        log.crash_hook = lambda p, f: 0
+        with pytest.raises(SimulatedCrash):
+            try:
+                log.append({"t": "clk", "c": 1.0})
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must not be an Exception")
+        log.close(final_sync=False)
+
+    def test_hook_none_lets_append_proceed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path, fsync="os")
+        log.crash_hook = lambda p, f: None
+        log.append({"t": "clk", "c": 1.0})
+        log.close()
+        records, __ = iter_records(path.read_bytes())
+        assert records == [{"t": "clk", "c": 1.0}]
