@@ -30,6 +30,7 @@ pieces most users need:
 
 from repro.core.objectives import (
     SERVICE_TIERS,
+    AdaptivePolicy,
     PlanObjective,
     QueryOptions,
     ServiceTier,
@@ -73,6 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessMode",
+    "AdaptivePolicy",
     "Attribute",
     "AttributeType",
     "BindingPattern",

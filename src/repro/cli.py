@@ -26,7 +26,12 @@ from repro.bench.figures import (
 )
 from repro.bench.harness import SYSTEMS, download_all_bound, run_session
 from repro.bench.reporting import series_table, summary_table
-from repro.core.objectives import SERVICE_TIERS, PlanObjective, ServiceTier
+from repro.core.objectives import (
+    SERVICE_TIERS,
+    AdaptivePolicy,
+    PlanObjective,
+    ServiceTier,
+)
 from repro.market.faults import FaultPolicy
 from repro.market.transport import TransportConfig
 
@@ -120,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(only meaningful with --workers > 1; overrides --objective)",
     )
     session.add_argument(
+        "--adaptive", default=None, metavar="SPEC",
+        help="adaptive mid-query re-optimization: "
+        "THRESHOLD[:MIN_ROWS[:MAX_REPLANS]] — re-plan the remaining "
+        "joins whenever an intermediate's actual cardinality diverges "
+        "from the estimate by more than THRESHOLD× (off by default)",
+    )
+    session.add_argument(
         "--state-dir", default=None, metavar="DIR",
         help="durable WAL-backed buyer state: purchases, statistics, and "
         "the bill survive crashes and restarts; rerunning with the same "
@@ -190,6 +202,13 @@ def _objective_of(args: argparse.Namespace) -> PlanObjective | None:
     return PlanObjective.parse(args.objective)
 
 
+def _adaptive_of(args: argparse.Namespace) -> "AdaptivePolicy | None":
+    """The --adaptive flag, parsed (None = static plans, the default)."""
+    if getattr(args, "adaptive", None) is None:
+        return None
+    return AdaptivePolicy.parse(args.adaptive)
+
+
 def _session_transport(args: argparse.Namespace) -> TransportConfig | None:
     """Build the transport configuration from the session flags."""
     faults = None
@@ -217,6 +236,7 @@ def _cmd_session_concurrent(args: argparse.Namespace, data, instances) -> int:
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
         objective=_objective_of(args),
+        adaptive=_adaptive_of(args),
         state_dir=args.state_dir,
     )
     tier = ServiceTier.named(args.tier) if args.tier else None
@@ -271,6 +291,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         plan_cache_size=0 if args.no_plan_cache else None,
         objective=_objective_of(args),
+        adaptive=_adaptive_of(args),
         state_dir=args.state_dir,
     )
     print()
@@ -284,6 +305,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"\ntotal: {session.total_transactions} transactions, "
         f"{session.total_calls} calls, ${session.total_price:g}"
     )
+    if session.total_replans:
+        print(
+            f"adaptive: {session.total_replans} mid-query re-plan(s), "
+            f"est ${session.replan_dollars_saved_est:g} suffix saved"
+        )
     if session.total_faults or session.total_retries:
         print(
             f"faults: {session.total_faults} injected, "

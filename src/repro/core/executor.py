@@ -40,10 +40,13 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.context import PlanningContext
+from repro.core.objectives import AdaptivePolicy
+from repro.core.optimizer import Optimizer, OptimizerOptions
 from repro.core.plans import (
     JoinNode,
     LocalBlockNode,
     MarketAccessNode,
+    MaterializedNode,
     PlanNode,
 )
 from repro.errors import (
@@ -59,6 +62,7 @@ from repro.relational.expressions import Comparison, ColumnRef, RowLayout, conju
 from repro.relational.relation import Relation
 from repro.relational.query import AttributeConstraint, LogicalQuery
 from repro.relational.table import Table
+from repro.stats.overlay import CardinalityOverlay
 
 
 #: Installation-wide query sequence feeding the per-query ledger
@@ -127,6 +131,12 @@ class ExecutionResult:
     coalesced_savings_transactions: int = 0
     coalesced_savings_price: float = 0.0
     covered_skips: int = 0
+    #: Adaptive re-optimization accounting: mid-query re-plans attempted,
+    #: and the planner's estimate of dollars the adopted suffixes saved
+    #: versus staying the course (0 when adaptive mode is off or never
+    #: tripped).
+    replans: int = 0
+    replan_dollars_saved_est: float = 0.0
 
     @property
     def complete(self) -> bool:
@@ -165,7 +175,7 @@ class _Fetched:
 
     @property
     def any_empty(self) -> bool:
-        return any(not component.rows for component in self.components)
+        return any(len(component) == 0 for component in self.components)
 
     def distinct_values(self, ref: ColumnRef) -> set:
         if self.any_empty:
@@ -229,6 +239,8 @@ class Executor:
         self,
         context: PlanningContext,
         max_concurrent_calls: int | None = None,
+        adaptive: AdaptivePolicy | None = None,
+        optimizer_options: OptimizerOptions | None = None,
     ):
         self.context = context
         self.execution = context.execution
@@ -240,6 +252,11 @@ class Executor:
         )
         if self.max_concurrent_calls < 1:
             raise ExecutionError("max_concurrent_calls must be >= 1")
+        #: Mid-query re-optimization policy (None = static pipeline) and
+        #: the planner options re-plans must preserve (objective, SQR,
+        #: cost metric, ... — the suffix is planned like the original).
+        self.adaptive = adaptive
+        self.optimizer_options = optimizer_options
 
     def execute(self, query: LogicalQuery, plan: PlanNode) -> ExecutionResult:
         self._query = query
@@ -259,7 +276,12 @@ class Executor:
         self._spent_price = 0.0
         self._billed_calls = 0
         self._billed_records = 0
-        self._fetch(plan)
+        self._replans = 0
+        self._replan_saved = 0.0
+        if self.adaptive is None:
+            self._fetch(plan)
+        else:
+            self._adaptive_fetch(plan)
 
         staging = self._build_staging(query)
         tracer = self.context.tracer
@@ -307,6 +329,8 @@ class Executor:
             ),
             coalesced_savings_price=scope.coalesced_savings_price,
             covered_skips=scope.covered_skips,
+            replans=self._replans,
+            replan_dollars_saved_est=self._replan_saved,
         )
 
     # ------------------------------------------------------------------ fetching
@@ -330,6 +354,199 @@ class Executor:
                 combined = combined.apply_joins(node.predicates)
             return combined
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # --------------------------------------------- adaptive re-optimization
+
+    @staticmethod
+    def _linearize(node: PlanNode) -> tuple[PlanNode, list[JoinNode]]:
+        """Split a left-deep plan into (deepest leaf, join steps in order).
+
+        Each step is a :class:`JoinNode` whose right child is the market
+        access it adds; walking stops at the first node that is not such
+        a step (the Theorem-2 block, a lone market access, a
+        :class:`MaterializedNode` prefix, or a Theorem-3 composition).
+        """
+        steps: list[JoinNode] = []
+        while isinstance(node, JoinNode) and isinstance(
+            node.right, MarketAccessNode
+        ):
+            steps.append(node)
+            node = node.left
+        steps.reverse()
+        return node, steps
+
+    def _adaptive_fetch(self, node: PlanNode) -> _Fetched:
+        """The checkpointed pipeline: after each join step, compare the
+        prefix's actual cardinality against the plan's estimate and
+        re-plan the remaining steps when the policy trips.
+
+        With a policy that never trips this performs exactly the work of
+        :meth:`_fetch` — same accesses, same order, same store and
+        histogram feedback — plus one float comparison per step.
+        """
+        if not isinstance(node, JoinNode):
+            return self._fetch(node)
+        if not isinstance(node.right, MarketAccessNode):
+            # Theorem-3 composition: the sides are join-disconnected, so
+            # each adapts independently; the composition buys nothing.
+            left = self._adaptive_fetch(node.left)
+            right = self._adaptive_fetch(node.right)
+            combined = _Fetched(left.components + right.components, self._ops)
+            if node.predicates:
+                combined = combined.apply_joins(node.predicates)
+            return combined
+        leaf, steps = self._linearize(node)
+        if isinstance(leaf, JoinNode):
+            current = self._adaptive_fetch(leaf)
+        else:
+            current = self._fetch(leaf)
+        executed = set(leaf.relations)
+        estimate = max(leaf.estimated_rows, 0.0)
+        adaptive = self.adaptive
+        while steps:
+            actual = self._actual_rows(current)
+            if self._replans < adaptive.max_replans and adaptive.diverged(
+                estimate, actual
+            ):
+                new_steps = self._replan(
+                    current, executed, actual, tuple(steps)
+                )
+                if new_steps is not None:
+                    steps = new_steps
+                    # The re-planned suffix was costed against the actual
+                    # prefix cardinality: the estimate is now the truth,
+                    # so the very next check cannot re-trip on it.
+                    estimate = actual
+                    if not steps:
+                        break
+            step = steps.pop(0)
+            if isinstance(step.right, MarketAccessNode) and step.bind:
+                right_components = [
+                    self._fetch_bound(step.right, step.predicates, current)
+                ]
+            else:
+                right_components = self._fetch(step.right).components
+            current = _Fetched(
+                current.components + right_components, self._ops
+            )
+            if step.predicates:
+                current = current.apply_joins(step.predicates)
+            executed |= set(step.right.relations)
+            estimate = max(step.estimated_rows, 0.0)
+        return current
+
+    @staticmethod
+    def _actual_rows(fetched: _Fetched) -> float:
+        """Exact cardinality of the materialized prefix (the Cartesian
+        product size of its unreferenced sibling components)."""
+        actual = 1.0
+        for component in fetched.components:
+            # len(relation), not len(relation.rows): the row-tuple view
+            # is materialized lazily and this check runs on every step.
+            actual *= len(component)
+        return actual
+
+    def _replan(
+        self,
+        current: _Fetched,
+        executed: set[str],
+        actual: float,
+        old_steps: tuple[JoinNode, ...],
+    ) -> list[JoinNode] | None:
+        """Re-plan the not-yet-executed joins; None keeps the old plan."""
+        self._replans += 1
+        tracer = self.context.tracer
+        if not tracer.enabled:
+            return self._replan_inner(current, executed, actual, old_steps, None)
+        with tracer.span("replan", tables=sorted(executed)) as span:
+            return self._replan_inner(
+                current, executed, actual, old_steps, span
+            )
+
+    def _replan_inner(
+        self,
+        current: _Fetched,
+        executed: set[str],
+        actual: float,
+        old_steps: tuple[JoinNode, ...],
+        span,
+    ) -> list[JoinNode] | None:
+        overlay = self._build_overlay(current, executed)
+        prefix = MaterializedNode(
+            relations=frozenset(executed),
+            cost=0.0,
+            estimated_rows=float(actual),
+            tables=tuple(sorted(executed)),
+        )
+        optimizer = Optimizer(self.context, self.optimizer_options)
+        started = time.perf_counter()
+        suffix = optimizer.optimize_suffix(
+            self._query, prefix, overlay=overlay, old_steps=old_steps
+        )
+        planning_us = (time.perf_counter() - started) * 1e6
+        metrics = self.context.metrics
+        metrics.counter("plan_replans").inc()
+        metrics.histogram("replan_planning_us").observe(planning_us)
+        adopted = False
+        new_steps: list[JoinNode] | None = None
+        saved = 0.0
+        if suffix is not None:
+            leaf, steps = self._linearize(suffix.plan)
+            # Only a plain resumable chain over THIS prefix is adoptable;
+            # anything else (e.g. a Theorem-3 shape that would replay the
+            # prefix) keeps the original plan.
+            if leaf is prefix:
+                saved = max(suffix.old_cost - suffix.cost, 0.0)
+                self._replan_saved += saved
+                new_steps = steps
+                adopted = True
+        if span is not None:
+            span.set(
+                actual_rows=actual,
+                replan_seq=self._replans,
+                planning_us=planning_us,
+                adopted=adopted,
+                old_suffix_cost=(
+                    suffix.old_cost if suffix is not None else None
+                ),
+                new_suffix_cost=(suffix.cost if suffix is not None else None),
+                dollars_saved_est=saved,
+            )
+        return new_steps
+
+    def _build_overlay(
+        self, current: _Fetched, executed: set[str]
+    ) -> CardinalityOverlay:
+        """Layer the prefix's observed truths over the shared estimates.
+
+        Strictly query-private (see :mod:`repro.stats.overlay`): region
+        row counts come from this query's own staged rows, distinct
+        counts from the materialized intermediate, and nothing touches
+        the shared catalog.
+        """
+        overlay = CardinalityOverlay()
+        for table in executed:
+            if self.context.is_market(table):
+                overlay.set_region_rows(
+                    table, len(self._staged.get(table.lower(), []))
+                )
+        remaining = {
+            t.lower() for t in self._query.tables
+        } - {t.lower() for t in executed}
+        for join in self._query.joins:
+            left_t, right_t = (t.lower() for t in join.tables())
+            if left_t in executed and right_t in remaining:
+                ref = join.left
+            elif right_t in executed and left_t in remaining:
+                ref = join.right
+            else:
+                continue
+            try:
+                values = current.distinct_values(ref)
+            except ExecutionError:
+                continue
+            overlay.set_distinct(ref.table, ref.column, len(values))
+        return overlay
 
     def _fetch_block(self, node: LocalBlockNode) -> _Fetched:
         """Evaluate the zero-price block on local + covered market data."""

@@ -229,6 +229,97 @@ MIN_DOLLARS = PlanObjective()
 
 
 @dataclass(frozen=True)
+class AdaptivePolicy:
+    """When to re-plan the remaining joins mid-query.
+
+    The executor compares, after each executed join step, the prefix's
+    *actual* cardinality against the plan's estimate.  When the two
+    diverge by more than ``threshold`` (a ratio, in either direction) and
+    the larger of the two clears the ``min_rows`` noise floor, the
+    remaining joins are re-planned from the materialized intermediate —
+    purchased boxes are already in the semantic store, so re-planning is
+    money-free and can only reduce the remaining spend.  ``max_replans``
+    bounds the planning work one query may buy itself.
+
+    Off by default (``QueryOptions.adaptive = None``): legacy behaviour
+    is byte-identical without a policy.
+    """
+
+    #: Divergence ratio that trips a re-plan: actual > threshold·est or
+    #: est > threshold·actual.  Must be > 1.
+    threshold: float = 2.0
+    #: Noise floor: divergence below this many rows (on both sides) never
+    #: trips — tiny intermediates re-plan nothing worth re-planning.
+    min_rows: float = 10.0
+    #: Re-plans allowed per query (each one runs the suffix DP once).
+    max_replans: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.threshold > 1.0:
+            raise PlanningError(
+                f"adaptive threshold must be > 1 (a divergence ratio), "
+                f"got {self.threshold!r}"
+            )
+        if self.min_rows < 0:
+            raise PlanningError(
+                f"adaptive min_rows cannot be negative, got {self.min_rows!r}"
+            )
+        if isinstance(self.max_replans, bool) or not isinstance(
+            self.max_replans, int
+        ):
+            raise PlanningError(
+                f"max_replans must be an integer, got {self.max_replans!r}"
+            )
+        if self.max_replans < 1:
+            raise PlanningError(
+                f"max_replans must be >= 1, got {self.max_replans}"
+            )
+
+    def diverged(self, estimated: float, actual: float) -> bool:
+        """Whether (estimated, actual) prefix cardinalities trip a re-plan."""
+        if max(estimated, actual) < self.min_rows:
+            return False
+        return (
+            actual > estimated * self.threshold
+            or estimated > actual * self.threshold
+        )
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity for plan-cache keys (see plancache hygiene)."""
+        return (self.threshold, self.min_rows, self.max_replans)
+
+    @classmethod
+    def parse(cls, text: str) -> "AdaptivePolicy":
+        """Parse a CLI-style spec: ``THRESHOLD[:MIN_ROWS[:MAX_REPLANS]]``."""
+        parts = [p.strip() for p in text.split(":") if p.strip()]
+        if not parts or len(parts) > 3:
+            raise PlanningError(
+                f"adaptive spec must be THRESHOLD[:MIN_ROWS[:MAX_REPLANS]], "
+                f"got {text!r}"
+            )
+        try:
+            threshold = float(parts[0])
+            min_rows = float(parts[1]) if len(parts) > 1 else 10.0
+            max_replans = int(parts[2]) if len(parts) > 2 else 2
+        except ValueError:
+            raise PlanningError(
+                f"adaptive spec fields must be numbers, got {text!r}"
+            ) from None
+        return cls(
+            threshold=threshold, min_rows=min_rows, max_replans=max_replans
+        )
+
+    def describe(self) -> str:
+        return (
+            f"adaptive(threshold={self.threshold:g}×, "
+            f"min_rows={self.min_rows:g}, max_replans={self.max_replans})"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
 class ServiceTier:
     """A named objective preset attachable to a serving session.
 
@@ -343,10 +434,22 @@ class QueryOptions:
     #: the installation in-memory only (the historical behaviour).
     durability: "DurabilityConfig | str | Path | None" = None
 
+    # -- adaptive re-optimization ---------------------------------------------
+    #: Mid-query re-planning policy; ``None`` (the default) keeps the
+    #: static pipeline byte-identical to pre-adaptive behaviour.
+    adaptive: AdaptivePolicy | None = None
+
     def __post_init__(self) -> None:
         if not isinstance(self.objective, PlanObjective):
             raise PlanningError(
                 f"objective must be a PlanObjective, got {self.objective!r}"
+            )
+        if self.adaptive is not None and not isinstance(
+            self.adaptive, AdaptivePolicy
+        ):
+            raise PlanningError(
+                f"adaptive must be an AdaptivePolicy or None, "
+                f"got {self.adaptive!r}"
             )
         if not 0.0 <= self.fault_rate <= 1.0:
             raise PlanningError(

@@ -36,6 +36,7 @@ from repro.core.plans import (
     JoinNode,
     LocalBlockNode,
     MarketAccessNode,
+    MaterializedNode,
     PlanNode,
 )
 from repro.core.rewriter import RewriteResult
@@ -43,6 +44,7 @@ from repro.errors import InfeasibleObjectiveError, PlanningError
 from repro.relational.expressions import conjunction
 from repro.relational.query import JoinPredicate, LogicalQuery
 from repro.semstore.space import BoxSpace
+from repro.stats.overlay import CardinalityOverlay
 
 
 @dataclass
@@ -157,6 +159,22 @@ class _SubPlan:
     latency: float = 0.0
 
 
+@dataclass
+class SuffixPlan:
+    """A re-planned remainder from :meth:`Optimizer.optimize_suffix`.
+
+    ``old_cost`` is the *old* plan's remaining steps re-costed under the
+    same observed-cardinality overlay — the apples-to-apples baseline the
+    executor compares ``cost`` against when estimating dollars saved.
+    """
+
+    plan: PlanNode
+    cost: float
+    latency_ms: float
+    old_cost: float
+    evaluated_plans: int
+
+
 class Optimizer:
     """Algorithm 2, parameterized by :class:`OptimizerOptions`."""
 
@@ -164,6 +182,7 @@ class Optimizer:
         self.context = context
         self.options = options or OptimizerOptions()
         self._tracing = False
+        self._overlay: CardinalityOverlay | None = None
 
     # ------------------------------------------------------------------ entry
 
@@ -192,7 +211,8 @@ class Optimizer:
         )
         return result
 
-    def _optimize(self, query: LogicalQuery) -> PlanningResult:
+    def _reset(self, query: LogicalQuery) -> None:
+        """Initialize the per-run planning state for ``query``."""
         self._query = query
         self._evaluated = 0
         self._pruned = 0
@@ -230,7 +250,12 @@ class Optimizer:
         self._memo_feasible: dict[tuple[str, frozenset[str]], bool] = {}
         self._memo_distinct: dict[tuple[str, str], float] = {}
         self._memo_domain: dict[tuple[str, str], float] = {}
+        #: Observed-cardinality overlay for adaptive suffix planning; a
+        #: fresh ``optimize()`` always starts from shared estimates only.
+        self._overlay = None
 
+    def _optimize(self, query: LogicalQuery) -> PlanningResult:
+        self._reset(query)
         market_tables = [t for t in query.tables if self.context.is_market(t)]
         local_tables = [t for t in query.tables if not self.context.is_market(t)]
         for table in local_tables:
@@ -309,6 +334,133 @@ class Optimizer:
             frontier=points,
             objective_note=note,
         )
+
+    # ------------------------------------------------------- adaptive suffix
+
+    def optimize_suffix(
+        self,
+        query: LogicalQuery,
+        prefix: MaterializedNode,
+        overlay: CardinalityOverlay | None = None,
+        old_steps: tuple[JoinNode, ...] = (),
+    ) -> SuffixPlan | None:
+        """Re-plan the joins *not yet executed*, resuming from ``prefix``.
+
+        ``prefix`` is the materialized intermediate (actual cardinality,
+        zero cost — its money is already spent), ``overlay`` layers the
+        executor's observed cardinalities over the shared estimates for
+        this call only, and ``old_steps`` is the original plan's
+        remaining join steps, re-costed under the same overlay to price
+        what staying the course would spend.
+
+        Returns ``None`` whenever re-planning cannot (or should not)
+        produce a resumable plan — the executor then simply keeps the
+        original plan.  The same left-deep DP (scalar or Pareto,
+        preserving the active :class:`PlanObjective`) runs over only the
+        remaining market tables, seeded with the prefix instead of the
+        Theorem-2 block.  Results are never cached: the plan cache only
+        ever holds statically-planned trees (see plancache hygiene
+        tests).
+        """
+        if not self.options.use_theorems:
+            # The bushy debug arm has no left-deep prefix to resume from.
+            return None
+        self._reset(query)
+        self._overlay = overlay
+        remaining = [
+            t
+            for t in query.tables
+            if self.context.is_market(t)
+            and t.lower() not in prefix.relations
+        ]
+        if not remaining:
+            return None
+        remaining_set = frozenset(t.lower() for t in remaining)
+        if len(self._components(remaining_set, prefix.relations)) > 1:
+            # Join-disconnected remainders would re-enter Theorem-3
+            # composition, which could only duplicate the prefix leaf.
+            # Rare (the static planner already ordered the query); keep
+            # the original plan instead.
+            return None
+        seed = _SubPlan(
+            node=prefix, cost=0.0, rows=max(prefix.estimated_rows, 0.0)
+        )
+        try:
+            if self._pareto:
+                frontiers = self._pareto_program(remaining, seed)
+                if not frontiers.get(remaining_set) and self._prune:
+                    self._prune = False
+                    self._bound_frontier = []
+                    frontiers = self._pareto_program(remaining, seed)
+                entries = frontiers.get(remaining_set)
+                if not entries:
+                    return None
+                chosen, _ = self._select_from_frontier(
+                    self._pareto_front(entries)
+                )
+            else:
+                best = self._dynamic_program(remaining, seed)
+                if remaining_set not in best and self._prune:
+                    self._prune = False
+                    self._upper_bound = math.inf
+                    best = self._dynamic_program(remaining, seed)
+                if remaining_set not in best:
+                    return None
+                chosen = best[remaining_set]
+        except PlanningError:
+            # Includes InfeasibleObjectiveError: a bounded objective that
+            # became unmeetable mid-query must not kill the running query
+            # — the original plan stays in force.
+            return None
+        evaluated = self._evaluated
+        old_cost = self._recost_steps(seed, old_steps)
+        return SuffixPlan(
+            plan=chosen.node,
+            cost=chosen.cost,
+            latency_ms=chosen.latency,
+            old_cost=old_cost,
+            evaluated_plans=evaluated,
+        )
+
+    def _recost_steps(
+        self, seed: _SubPlan, old_steps: tuple[JoinNode, ...]
+    ) -> float:
+        """Price the original plan's remaining steps under the overlay.
+
+        Each old step is matched to the freshly-costed extension
+        candidate with the same access shape (same table, same bound
+        attributes); a step with no matching candidate (the store state
+        can narrow feasibility between plan and re-plan) falls back to
+        re-attaching the stamped access node as-is.
+        """
+        current = seed
+        for step in old_steps:
+            access = step.right
+            if not isinstance(access, MarketAccessNode):
+                continue
+            signature = tuple(access.bind_attributes)
+            match: _SubPlan | None = None
+            for candidate in self._extension_candidates(
+                current, access.table
+            ):
+                right = candidate.node.right if isinstance(
+                    candidate.node, JoinNode
+                ) else None
+                if (
+                    isinstance(right, MarketAccessNode)
+                    and tuple(right.bind_attributes) == signature
+                ):
+                    match = candidate
+                    break
+            if match is None:
+                applicable = self._applicable_joins(
+                    current.node.relations, access.table
+                )
+                match = self._attach(
+                    current, access, applicable, bind=step.bind
+                )
+            current = match
+        return current.cost
 
     # ---------------------------------------------------------------- theorems
 
@@ -390,9 +542,13 @@ class Optimizer:
                     union(right_t, block_anchor)
 
         groups: dict[str, set[str]] = {}
-        for table in subset:
+        for table in sorted(subset):
             groups.setdefault(find(table), set()).add(table)
-        return [frozenset(group) for group in groups.values()]
+        # Deterministic component order (by smallest member) so Theorem-3
+        # composition nests the same way in every process.
+        return sorted(
+            (frozenset(group) for group in groups.values()), key=min
+        )
 
     # ------------------------------------------------------------------- the DP
 
@@ -427,7 +583,13 @@ class Optimizer:
                         self._evaluated += 1
                         self._consider(best, subset, combined)
                     continue
-                for table_key in subset:
+                # Deterministic, not raw frozenset order: on cost ties
+                # the first-seen candidate wins, so iteration order IS
+                # plan choice — hash-order iteration would make tied
+                # plans vary across processes.  Reverse-sorted extension
+                # (largest table added last) canonicalizes ties to the
+                # join order that reads in table-name order.
+                for table_key in sorted(subset, reverse=True):
                     rest = subset - {table_key}
                     left = best.get(rest)
                     if left is None:
@@ -609,7 +771,9 @@ class Optimizer:
                         self._evaluated += 1
                         self._consider_pareto(frontiers, subset, combined)
                     continue
-                for table_key in subset:
+                # Reverse-sorted for the same tie-determinism reason as
+                # the scalar DP: first-seen wins exact vector ties.
+                for table_key in sorted(subset, reverse=True):
                     rest = subset - {table_key}
                     lefts = frontiers.get(rest)
                     if not lefts:
@@ -942,10 +1106,20 @@ class Optimizer:
         return node
 
     def _region_rows(self, table: str) -> float:
-        """Histogram estimate of the table's whole request region (memoized)."""
+        """Histogram estimate of the table's whole request region (memoized).
+
+        An adaptive-replan overlay takes precedence: the executor has
+        *seen* the region's exact row count, so the shared estimate is
+        no longer the best truth for this one planning call.
+        """
         key = table.lower()
         rows = self._memo_region_rows.get(key)
         if rows is None:
+            if self._overlay is not None:
+                observed = self._overlay.region_rows(table)
+                if observed is not None:
+                    self._memo_region_rows[key] = observed
+                    return observed
             rewrite = self._rewrite(table)
             histogram = self.context.catalog.statistics(table).histogram
             rows = sum(
@@ -1109,6 +1283,11 @@ class Optimizer:
         cached = self._memo_distinct.get(key)
         if cached is not None:
             return cached
+        if self._overlay is not None:
+            observed = self._overlay.distinct(table, column)
+            if observed is not None:
+                self._memo_distinct[key] = observed
+                return observed
         if self.context.is_market(table):
             statistics = self.context.catalog.statistics(table)
             space = statistics.space

@@ -127,6 +127,12 @@ class QueryStats:
     coalesced_savings_transactions: int = 0
     coalesced_savings_price: float = 0.0
     covered_skips: int = 0
+    #: Adaptive re-optimization (``QueryOptions(adaptive=...)``): mid-query
+    #: re-plans attempted, and the planner's estimate of the dollars the
+    #: adopted suffix plans saved versus staying the course.  Zero when
+    #: adaptive mode is off (the default) or never tripped.
+    replans: int = 0
+    replan_dollars_saved_est: float = 0.0
     #: Snapshot of the installation's metrics registry taken right after
     #: this query (see :mod:`repro.obs.metrics` for the names).
     metrics: dict = field(default_factory=dict)
@@ -552,6 +558,14 @@ class PayLess:
             transport.max_retries,
             transport.idempotency,
             transport.faults is not None,
+            # Adaptive runs never cache their mid-flight suffix plans, but
+            # the *static* plan an adaptive installation starts from is
+            # keyed apart anyway so cache hygiene is provable per policy.
+            (
+                self.query_options.adaptive.fingerprint()
+                if self.query_options.adaptive is not None
+                else None
+            ),
         )
 
     def _plan_statement(
@@ -751,7 +765,11 @@ class PayLess:
                     "miss" if self.plan_cache.enabled else "off"
                 )
                 self.plan_cache.insert(cache_key, logical, planning)
-            execution = Executor(self.context).execute(logical, planning.plan)
+            execution = Executor(
+                self.context,
+                adaptive=self.query_options.adaptive,
+                optimizer_options=self._options_for(resolved),
+            ).execute(logical, planning.plan)
         except BaseException:
             if tracing:
                 tracer.end_query()
@@ -832,6 +850,8 @@ class PayLess:
                 ),
                 coalesced_savings_price=execution.coalesced_savings_price,
                 covered_skips=execution.covered_skips,
+                replans=execution.replans,
+                replan_dollars_saved_est=execution.replan_dollars_saved_est,
                 metrics=metrics.snapshot(),
             ),
         )

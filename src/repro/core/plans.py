@@ -100,6 +100,28 @@ class MarketAccessNode(PlanNode):
 
 
 @dataclass
+class MaterializedNode(PlanNode):
+    """An already-executed prefix, resumed in place during a re-plan.
+
+    Adaptive re-optimization seeds the suffix DP with this node: its
+    ``estimated_rows`` is the prefix's *actual* cardinality, its cost is
+    zero (the money is already spent and the rows already staged), and
+    the executor substitutes the materialized intermediate for it at
+    resume time.  It never appears in a statically-planned tree nor in
+    any plan-cache entry.
+    """
+
+    tables: tuple[str, ...] = ()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}Materialized({', '.join(self.tables)}) "
+            f"rows≈{self.estimated_rows:.0f}"
+        )
+
+
+@dataclass
 class JoinNode(PlanNode):
     """Binary join; ``bind=True`` marks a bind join (−→⋈)."""
 

@@ -113,15 +113,28 @@ class _FetchSpans:
         return None
 
 
+def _divergence(estimated: float, actual: float) -> str:
+    """actual/estimated as a misestimation factor, e.g. ``×2.50``.
+
+    ``inf`` when something materialized out of a zero estimate; ``1.00``
+    when both sides are zero (a correctly-predicted free access).
+    """
+    if estimated <= 0:
+        return "inf" if actual > 0 else "1.00"
+    return f"{actual / estimated:.2f}"
+
+
 def _actuals_lines(span: "Span | None", estimated: float, pad: str) -> list[str]:
     if span is None:
         return [f"{pad}actual: not executed (empty bindings or skipped)"]
     attrs = span.attrs
     calls = attrs.get("calls", 0)
+    transactions = attrs.get("transactions", 0)
     lines = [
         f"{pad}actual: {_fmt(estimated)} est → "
-        f"{attrs.get('transactions', 0)} trans "
-        f"(${attrs.get('price', 0.0):g}) in {calls} call(s)"
+        f"{transactions} trans "
+        f"(${attrs.get('price', 0.0):g}) in {calls} call(s), "
+        f"divergence ×{_divergence(estimated, transactions)}"
     ]
     lines.append(
         f"{pad}rows: {attrs.get('purchased_rows', 0)} purchased, "
@@ -295,6 +308,11 @@ def render_explain_analyze(
     if stats.failed_fetches:
         lines.append(
             f"partial: {len(stats.failed_fetches)} region(s) not bought"
+        )
+    if getattr(stats, "replans", 0):
+        lines.append(
+            f"adaptive: {stats.replans} mid-query re-plan(s), "
+            f"est ${stats.replan_dollars_saved_est:g} suffix saved"
         )
     return "\n".join(lines)
 

@@ -15,8 +15,10 @@ from repro.stats.interface import (
 )
 from repro.stats.isomer import DEFAULT_MAX_BOXES, FeedbackHistogram
 from repro.stats.onedim import IndependenceHistogram, UniformStatistic
+from repro.stats.overlay import CardinalityOverlay
 
 __all__ = [
+    "CardinalityOverlay",
     "Catalog",
     "DEFAULT_MAX_BOXES",
     "FeedbackHistogram",

@@ -37,6 +37,14 @@ DEFAULT_MAX_BOXES = 512
 class _Refined:
     box: Box
     count: float
+    #: Cached ``box.volume()`` — the estimate hot loop reads it once per
+    #: refined box per call, and recomputing the extent product dominated
+    #: profile time before it was cached here.
+    volume: int = 0
+
+    def __post_init__(self) -> None:
+        if self.volume == 0:
+            self.volume = self.box.volume()
 
 
 class FeedbackHistogram:
@@ -56,10 +64,17 @@ class FeedbackHistogram:
         self.cardinality = cardinality
         self.max_boxes = max_boxes
         self._refined: list[_Refined] = []
+        #: Running totals over ``_refined`` (volume in grid cells, count in
+        #: tuples), maintained by every writer so ``estimate`` never has to
+        #: re-sum the whole list.
+        self._total_refined_volume = 0
+        self._total_refined_count = 0.0
         self.feedback_count = 0
-        #: Guards ``_refined``/``feedback_count``: concurrent sessions share
-        #: one histogram per table, and ``observe`` rebuilds the refined
-        #: list while ``estimate`` iterates it.
+        #: Guards ``_refined``/totals/``feedback_count``: concurrent
+        #: sessions share one histogram per table.  Writers install a NEW
+        #: list (copy-on-write, never in-place mutation), so ``estimate``
+        #: only holds the lock long enough to snapshot the reference and
+        #: the matching totals.
         self._lock = threading.Lock()
 
     # -- estimation -----------------------------------------------------------
@@ -71,19 +86,32 @@ class FeedbackHistogram:
         if query is None:
             return 0.0
         estimate = 0.0
-        refined_volume = 0
-        refined_count = 0.0
         query_refined_volume = 0
         with self._lock:
-            refined_snapshot = list(self._refined)
+            # Writers replace the list wholesale, so holding the reference
+            # outside the lock is safe; the totals are snapshotted with it
+            # so both describe the same refined set.
+            refined_snapshot = self._refined
+            refined_volume = self._total_refined_volume
+            refined_count = self._total_refined_count
+        query_extents = query.extents
         for refined in refined_snapshot:
-            refined_volume += refined.box.volume()
-            refined_count += refined.count
-            overlap = query.intersect(refined.box)
-            if overlap is not None:
-                overlap_volume = overlap.volume()
+            # Inline the box intersection on raw extents: the hot loop
+            # runs once per refined box per estimate, and allocating an
+            # intermediate Box per overlap dominated its cost.
+            overlap_volume = 1
+            for (q_low, q_high), (r_low, r_high) in zip(
+                query_extents, refined.box.extents
+            ):
+                low = q_low if q_low > r_low else r_low
+                high = q_high if q_high < r_high else r_high
+                if low >= high:
+                    overlap_volume = 0
+                    break
+                overlap_volume *= high - low
+            if overlap_volume:
                 query_refined_volume += overlap_volume
-                estimate += refined.count * overlap_volume / refined.box.volume()
+                estimate += refined.count * overlap_volume / refined.volume
         residual_count = max(self.cardinality - refined_count, 0.0)
         residual_volume = full.volume() - refined_volume
         query_residual_volume = query.volume() - query_refined_volume
@@ -118,7 +146,7 @@ class FeedbackHistogram:
                     survivors.append(refined)
                     continue
                 outside_pieces = refined.box.subtract(observed)
-                old_volume = refined.box.volume()
+                old_volume = refined.volume
                 for piece in outside_pieces:
                     survivors.append(
                         _Refined(
@@ -133,14 +161,25 @@ class FeedbackHistogram:
             self.feedback_count += 1
             if len(self._refined) > self.max_boxes:
                 self._compact()
+            self._recompute_totals()
 
     def _compact(self) -> None:
         """Fold the smallest fragments back into the uniform residual.
 
-        Called with ``_lock`` held (only from :meth:`observe`).
+        Called with ``_lock`` held (only from :meth:`observe`).  Builds a
+        new list rather than sorting in place — lock-free readers may
+        still be iterating the current one.
         """
-        self._refined.sort(key=lambda refined: refined.box.volume(), reverse=True)
-        self._refined = self._refined[: self.max_boxes // 2]
+        self._refined = sorted(
+            self._refined,
+            key=lambda refined: refined.volume,
+            reverse=True,
+        )[: self.max_boxes // 2]
+
+    def _recompute_totals(self) -> None:
+        """Refresh the running totals.  Called with ``_lock`` held."""
+        self._total_refined_volume = sum(r.volume for r in self._refined)
+        self._total_refined_count = sum(r.count for r in self._refined)
 
     # -- persistence ------------------------------------------------------------
 
@@ -177,6 +216,7 @@ class FeedbackHistogram:
             self._refined = [
                 _Refined(box=box, count=count) for box, count in refined
             ]
+            self._recompute_totals()
 
     # -- introspection ----------------------------------------------------------
 

@@ -1,0 +1,66 @@
+"""Per-query cardinality overlay for adaptive re-optimization.
+
+When the executor re-plans mid-query (:class:`~repro.core.objectives.
+AdaptivePolicy`), the exact cardinalities observed while running the
+prefix must reach the planner *without* mutating the shared ISOMER
+catalog — under concurrent serving (8 workers, PR 6) a sibling query
+planning the same tables at the same instant must keep seeing the
+shared estimates, and a re-plan that loses a race must leave nothing
+behind.
+
+A :class:`CardinalityOverlay` is therefore strictly query-private: the
+executor builds a fresh one per re-plan from its own staged rows, hands
+it to :meth:`Optimizer.optimize_suffix`, and drops it when planning
+returns.  No instance is ever shared across threads, so the class needs
+no locks — the thread-safety story is ownership, not synchronization.
+The shared :class:`~repro.stats.isomer.FeedbackHistogram` still receives
+durable feedback through its own locked ``observe`` path exactly as
+before; the overlay only *layers* observed truths over its estimates
+for the duration of one suffix-planning call.
+"""
+
+from __future__ import annotations
+
+
+class CardinalityOverlay:
+    """Observed per-table row counts and per-column distinct counts.
+
+    Keys are case-insensitive (the planner lowercases table names
+    internally).  ``None`` from a getter means "no observation — fall
+    back to the shared estimate".
+    """
+
+    __slots__ = ("_region_rows", "_distinct")
+
+    def __init__(self) -> None:
+        self._region_rows: dict[str, float] = {}
+        self._distinct: dict[tuple[str, str], float] = {}
+
+    # -- table-level region cardinality ---------------------------------------
+
+    def set_region_rows(self, table: str, rows: float) -> None:
+        """Record the exact row count of ``table``'s query region."""
+        self._region_rows[table.lower()] = float(rows)
+
+    def region_rows(self, table: str) -> float | None:
+        return self._region_rows.get(table.lower())
+
+    # -- column-level distinct counts -----------------------------------------
+
+    def set_distinct(self, table: str, column: str, count: float) -> None:
+        """Record the exact distinct count of ``table.column`` in-region."""
+        self._distinct[(table.lower(), column.lower())] = float(count)
+
+    def distinct(self, table: str, column: str) -> float | None:
+        return self._distinct.get((table.lower(), column.lower()))
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._region_rows) + len(self._distinct)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CardinalityOverlay(region_rows={self._region_rows!r}, "
+            f"distinct={self._distinct!r})"
+        )

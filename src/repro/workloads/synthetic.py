@@ -87,21 +87,44 @@ def _columns_for(shape: str, index: int, n: int) -> list[str]:
 
 
 def _rows_for(
-    columns: list[str], rng: random.Random, domain_high: int
+    columns: list[str],
+    rng: random.Random,
+    domain_high: int,
+    skew: float = 0.0,
+    rows: int | None = None,
 ) -> list[tuple]:
-    if len(columns) == 1:
-        return [(value,) for value in range(1, domain_high + 1)]
-    if len(columns) == 2 and domain_high <= DOMAIN_HIGH:
-        # Small cross product, fully materialized.
+    if skew == 0.0 and rows is None:
+        # The historical generator, byte-identical (including how much of
+        # the rng stream it consumes) for every pre-existing caller.
+        if len(columns) == 1:
+            return [(value,) for value in range(1, domain_high + 1)]
+        if len(columns) == 2 and domain_high <= DOMAIN_HIGH:
+            # Small cross product, fully materialized.
+            return [
+                (a, b)
+                for a in range(1, domain_high + 1)
+                for b in range(1, domain_high + 1)
+            ]
         return [
-            (a, b)
-            for a in range(1, domain_high + 1)
-            for b in range(1, domain_high + 1)
+            tuple(rng.randint(1, domain_high) for __ in columns)
+            for __ in range(max(SAMPLED_ROWS, domain_high))
         ]
-    return [
-        tuple(rng.randint(1, domain_high) for __ in columns)
-        for __ in range(max(SAMPLED_ROWS, domain_high))
-    ]
+    # Skewed / sized tables additionally carry a value column ``V`` whose
+    # distribution piles onto the low end of the domain (power-law via
+    # inverse-transform sampling): a range constraint near the low end
+    # matches far more rows than the uniform histogram estimate expects —
+    # exactly the correlated misestimate adaptive re-optimization exists
+    # to catch.  Join keys stay uniform.
+    count = rows if rows is not None else max(SAMPLED_ROWS, domain_high)
+    exponent = 1.0 + max(skew, 0.0)
+    out = []
+    for __ in range(count):
+        values = [rng.randint(1, domain_high) for __ in columns]
+        values.append(
+            1 + int((domain_high - 1) * (rng.random() ** exponent))
+        )
+        out.append(tuple(values))
+    return out
 
 
 def _join_pairs(shape: str, n: int) -> list[tuple[int, int, str]]:
@@ -138,6 +161,8 @@ def make_join_graph(
     tuples_per_transaction: int = 10,
     seed: int = 0,
     domain_high: int = DOMAIN_HIGH,
+    skew: float = 0.0,
+    rows: int | None = None,
 ) -> SyntheticJoinData:
     """Publish a ``shape`` join graph of ``n`` market tables as one dataset.
 
@@ -147,11 +172,24 @@ def make_join_graph(
     direct fetches grow transaction-heavy while bind joins stay
     per-call-dominated — the regime where the money-latency Pareto
     frontier has more than one point.
+
+    ``skew``/``rows`` switch the generator into its correlated-skew mode
+    (the adaptive-reoptimization workload): every table gains an extra
+    integer value column ``V`` drawn power-law toward the low end of the
+    domain (sharper as ``skew`` grows) and holds exactly ``rows`` rows.
+    A range constraint like ``V < 3`` then matches far more rows than
+    the uniform estimate predicts.  Both default off, and the defaults
+    are byte-identical to the historical generator.
     """
     if n < 1:
         raise ReproError(f"a join graph needs at least one table, got n={n}")
     if domain_high < 1:
         raise ReproError(f"domain_high must be >= 1, got {domain_high}")
+    if skew < 0:
+        raise ReproError(f"skew cannot be negative, got {skew}")
+    if rows is not None and rows < 1:
+        raise ReproError(f"rows must be >= 1, got {rows}")
+    value_column = skew > 0.0 or rows is not None
     rng = random.Random(seed)
     dataset = Dataset(
         f"SYN_{shape.upper()}{n}",
@@ -161,17 +199,27 @@ def make_join_graph(
     for index in range(1, n + 1):
         name = f"T{index}"
         columns = _columns_for(shape, index, n)
-        schema = Schema(
-            [
-                Attribute(column, T.INT, Domain.numeric(1, domain_high))
-                for column in columns
-            ]
-        )
+        attributes = [
+            Attribute(column, T.INT, Domain.numeric(1, domain_high))
+            for column in columns
+        ]
+        free_columns = list(columns)
+        if value_column:
+            attributes.append(
+                Attribute("V", T.INT, Domain.numeric(1, domain_high))
+            )
+            free_columns.append("V")
+        schema = Schema(attributes)
         pattern = BindingPattern.parse(
-            name, ", ".join(f"{column}f" for column in columns)
+            name, ", ".join(f"{column}f" for column in free_columns)
         )
         dataset.add_table(
-            Table(name, schema, _rows_for(columns, rng, domain_high)), pattern
+            Table(
+                name,
+                schema,
+                _rows_for(columns, rng, domain_high, skew=skew, rows=rows),
+            ),
+            pattern,
         )
         tables.append(name)
     return SyntheticJoinData(

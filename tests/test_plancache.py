@@ -12,7 +12,9 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import build_system
+from repro.core.objectives import AdaptivePolicy, PlanObjective
 from repro.core.plancache import PlanCache
+from repro.core.plans import MaterializedNode
 from repro.core.prepared import PreparedQuery
 from repro.obs.metrics import MetricsRegistry
 from repro.workloads.synthetic import make_join_graph
@@ -136,6 +138,72 @@ class TestKeying:
         key_a = PlanCache.statement_key(statement, (), ("vectorized",))
         key_b = PlanCache.statement_key(statement, (), ("reference",))
         assert key_a != key_b
+
+
+def _skewed_build(adaptive=None):
+    data = make_join_graph(
+        "chain", 2, tuples_per_transaction=5,
+        domain_high=400, skew=15.0, rows=1000,
+    )
+    payless, __ = build_system("payless", data, adaptive=adaptive)
+    return payless
+
+
+def _plan_nodes(node):
+    yield node
+    for child in (getattr(node, "left", None), getattr(node, "right", None)):
+        if child is not None:
+            yield from _plan_nodes(child)
+
+
+SKEWED_SQL = "SELECT * FROM T1, T2 WHERE T1.K1 = T2.K1 AND T1.V > 200"
+
+
+class TestAdaptiveHygiene:
+    """Mid-query re-planning must never pollute the template cache: the
+    re-planned suffix is costed against one query's materialized prefix
+    (a :class:`MaterializedNode`), which no other execution has."""
+
+    def test_replanned_suffix_never_cached(self):
+        payless = _skewed_build(adaptive=AdaptivePolicy())
+        result = payless.query(SKEWED_SQL)
+        assert result.stats.replans >= 1
+        for entry in payless.plan_cache._entries.values():
+            for node in _plan_nodes(entry.planning.plan):
+                assert not isinstance(node, MaterializedNode)
+
+    def test_repeat_query_still_hits_with_the_static_template(self):
+        payless = _skewed_build(adaptive=AdaptivePolicy())
+        static_cost = _skewed_build().explain(SKEWED_SQL).cost
+        payless.query(SKEWED_SQL)  # cold: replans, purchases, goes stale
+        payless.query(SKEWED_SQL)  # re-planned at settled epochs
+        hits = payless.plan_cache.hits
+        third = payless.explain(SKEWED_SQL)
+        assert payless.plan_cache.hits == hits + 1
+        assert third.planning.cache_status == "hit"
+        # The cached template is the full statically-planned query (its
+        # post-purchase re-plan), never a mid-flight suffix: it covers
+        # every table and carries no materialized prefix.
+        relations = {
+            r for node in _plan_nodes(third.plan) for r in node.relations
+        }
+        assert relations == {"t1", "t2"}
+        assert static_cost >= 0  # static planning itself stayed usable
+
+    def test_adaptive_policies_get_distinct_fingerprints(self):
+        on = _skewed_build(adaptive=AdaptivePolicy())
+        off = _skewed_build()
+        objective = PlanObjective.min_dollars()
+        assert (
+            on._planner_fingerprint(objective)
+            != off._planner_fingerprint(objective)
+        )
+        assert (
+            _skewed_build(
+                adaptive=AdaptivePolicy(threshold=3.0)
+            )._planner_fingerprint(objective)
+            != on._planner_fingerprint(objective)
+        )
 
 
 class TestCapacity:
