@@ -68,6 +68,9 @@ class PlanningContext:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         execution: ExecutionConfig | None = None,
+        transport_mode: str = "threaded",
+        async_pool_size: int | None = None,
+        prefetch: bool = True,
     ):
         self.market = market
         self.catalog = catalog
@@ -105,6 +108,32 @@ class PlanningContext:
             if max_concurrent_calls is not None
             else self.DEFAULT_MAX_CONCURRENT_CALLS
         )
+        if transport_mode not in ("threaded", "async"):
+            raise PlanningError(
+                f"transport_mode must be 'threaded' or 'async', "
+                f"got {transport_mode!r}"
+            )
+        #: The fetch driver executors use.  "threaded" keeps the
+        #: historical thread-pool path byte-identical; "async" attaches a
+        #: pipelined event-loop driver with per-seller connection pools
+        #: (:mod:`repro.market.aio`) wrapping the *same* transport above.
+        self.transport_mode = transport_mode
+        #: Whether async executors prefetch upcoming non-bind accesses.
+        self.prefetch = prefetch
+        if transport_mode == "async":
+            from repro.market.aio import DEFAULT_POOL_SIZE, AsyncMarketTransport
+
+            self.async_transport = AsyncMarketTransport(
+                self.transport,
+                pool_size=(
+                    async_pool_size
+                    if async_pool_size is not None
+                    else DEFAULT_POOL_SIZE
+                ),
+                metrics=self.metrics,
+            )
+        else:
+            self.async_transport = None
         #: Singleflight group coalescing overlapping in-flight market
         #: fetches across concurrent sessions (``None`` = no coalescing).
         #: Wired by :class:`~repro.serve.scheduler.QueryScheduler`; the

@@ -31,6 +31,7 @@ with the failed regions reported on the result.
 
 from __future__ import annotations
 
+import asyncio
 import heapq
 import itertools
 import threading
@@ -99,6 +100,27 @@ class CoveredSkip:
 
 
 @dataclass
+class _PrefetchEntry:
+    """One upcoming table access whose remainder calls are already in
+    flight on the event loop (async transport only).
+
+    Created at query start from the chosen plan's non-bind market
+    accesses; consumed by :meth:`Executor._fetch_market_inner` when the
+    plan walk reaches the table.  ``token``/``checkpoint`` were claimed at
+    schedule time so ledger attribution is identical either way.  If the
+    query fails before consuming the entry, the drain path still waits for
+    the calls and records every *paid* box into the store — billed money
+    must always buy durable coverage, never be silently dropped.
+    """
+
+    table: str
+    rewrite: object
+    token: str
+    checkpoint: int
+    future: object
+
+
+@dataclass
 class ExecutionResult:
     """The final relation plus what this query actually cost."""
 
@@ -137,6 +159,11 @@ class ExecutionResult:
     #: tripped).
     replans: int = 0
     replan_dollars_saved_est: float = 0.0
+    #: Which transport driver executed the fetches ("threaded"/"async")
+    #: and how many table accesses were served from a cross-access
+    #: prefetch scheduled at query start (async mode only).
+    transport_mode: str = "threaded"
+    prefetch_hits: int = 0
 
     @property
     def complete(self) -> bool:
@@ -257,6 +284,31 @@ class Executor:
         #: cost metric, ... — the suffix is planned like the original).
         self.adaptive = adaptive
         self.optimizer_options = optimizer_options
+        #: The async driver (:mod:`repro.market.aio`), or ``None`` for the
+        #: historical threaded path.  Wired by the planning context when
+        #: ``QueryOptions(transport_mode="async")``.
+        self._aio = getattr(context, "async_transport", None)
+        #: Cross-access prefetch only makes sense on the async driver and
+        #: only for a *static* plan: an adaptive executor may re-plan the
+        #: suffix mid-query, and prefetch must never buy for a plan that
+        #: might be abandoned (wasted dollars must stay provably zero).
+        self._prefetch_enabled = (
+            self._aio is not None
+            and adaptive is None
+            and getattr(context, "prefetch", True)
+        )
+        #: Long-lived thread pool for the threaded path, shared by every
+        #: table access of this executor (lazily created, shut down by
+        #: :meth:`close`) — the historical per-access pool paid thread
+        #: startup on every access.
+        self._call_pool: ThreadPoolExecutor | None = None
+        self._prefetched: dict[str, _PrefetchEntry] = {}
+
+    def close(self) -> None:
+        """Release execution resources (idempotent; called by PayLess)."""
+        pool, self._call_pool = self._call_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def execute(self, query: LogicalQuery, plan: PlanNode) -> ExecutionResult:
         self._query = query
@@ -278,10 +330,23 @@ class Executor:
         self._billed_records = 0
         self._replans = 0
         self._replan_saved = 0.0
-        if self.adaptive is None:
-            self._fetch(plan)
-        else:
-            self._adaptive_fetch(plan)
+        self._prefetch_hits = 0
+        self._prefetched = {}
+        try:
+            if self._prefetch_enabled:
+                self._schedule_prefetch(plan)
+            if self.adaptive is None:
+                self._fetch(plan)
+            else:
+                self._adaptive_fetch(plan)
+        finally:
+            # Any prefetched access the plan walk did not consume (an
+            # earlier access failed the query) is drained here: wait for
+            # the in-flight calls and record every paid box into the
+            # store, so billed money always buys coverage.  A normally
+            # completed static plan consumes every entry — this is then a
+            # no-op, which is what keeps prefetch_wasted_dollars at zero.
+            self._drain_prefetch()
 
         staging = self._build_staging(query)
         tracer = self.context.tracer
@@ -331,6 +396,8 @@ class Executor:
             covered_skips=scope.covered_skips,
             replans=self._replans,
             replan_dollars_saved_est=self._replan_saved,
+            transport_mode="async" if self._aio is not None else "threaded",
+            prefetch_hits=self._prefetch_hits,
         )
 
     # ------------------------------------------------------------------ fetching
@@ -354,6 +421,140 @@ class Executor:
                 combined = combined.apply_joins(node.predicates)
             return combined
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # ----------------------------------------------- cross-access prefetch
+
+    def _prefetchable_tables(self, node: PlanNode, tables: list[str]) -> None:
+        """Collect, in execution order, the plan's *certain* market buys.
+
+        Mirrors :meth:`_fetch`'s walk exactly: a non-bind
+        :class:`MarketAccessNode` will be fetched with the query's static
+        constraints no matter what earlier accesses return, so buying it
+        early can never waste a dollar.  Bind-join right sides depend on
+        runtime binding values, and LocalBlock market tables are covered
+        reads — neither is prefetchable.
+        """
+        if isinstance(node, MarketAccessNode):
+            tables.append(node.table)
+            return
+        if isinstance(node, JoinNode):
+            self._prefetchable_tables(node.left, tables)
+            if not (isinstance(node.right, MarketAccessNode) and node.bind):
+                self._prefetchable_tables(node.right, tables)
+
+    def _schedule_prefetch(self, plan: PlanNode) -> None:
+        """Rewrite every certain upcoming access *now* and put its
+        remainder calls in flight on the event loop, so market latency
+        overlaps earlier accesses and local join evaluation instead of
+        serializing behind them."""
+        tables: list[str] = []
+        self._prefetchable_tables(plan, tables)
+        ledger = self.context.market.ledger
+        for table in tables:
+            key = table.lower()
+            if key in self._prefetched:
+                # The same table twice in one plan (a Theorem-3 shape):
+                # only the first access is prefetched; the second re-
+                # rewrites against the then-current store like any other.
+                continue
+            table_store = self.context.store.table(table)
+            constraints = list(self._query.constraints_for(table))
+            with table_store.lock:
+                rewrite = self.context.rewriter.rewrite(
+                    table,
+                    constraints,
+                    self.context.tuples_per_transaction(table),
+                )
+                if rewrite.store_epoch != table_store.epoch:
+                    raise ExecutionError(
+                        f"stale rewrite for {table!r}: computed at store "
+                        f"epoch {rewrite.store_epoch}, executing at "
+                        f"{table_store.epoch}"
+                    )
+            dataset = self.context.dataset_of(table)
+            self._access_seq += 1
+            token = f"{self._query_token}:a{self._access_seq}"
+            checkpoint = ledger.checkpoint()
+            future = self._submit_async_calls(
+                dataset, table, rewrite.remainder, token
+            )
+            self._prefetched[key] = _PrefetchEntry(
+                table=table,
+                rewrite=rewrite,
+                token=token,
+                checkpoint=checkpoint,
+                future=future,
+            )
+
+    def _drain_prefetch(self) -> None:
+        """Settle prefetch entries the plan walk never consumed.
+
+        Never cancels after billing: every completed purchase is recorded
+        into the store (and the durability log) under the table lock, and
+        every led singleflight is released so no waiter hangs on a query
+        that died.  The dollars spent on unconsumed entries are counted in
+        ``prefetch_wasted_dollars`` — zero for every successfully
+        completed query, which the test suite asserts.
+        """
+        if not self._prefetched:
+            return
+        entries = list(self._prefetched.values())
+        self._prefetched = {}
+        store = self.context.store
+        coalescer = self.context.coalescer
+        durability = self.context.durability
+        ledger = self.context.market.ledger
+        metrics = self.context.metrics
+        for entry in entries:
+            try:
+                results, lead_flights = entry.future.result()
+            except BaseException:
+                # The batch died before producing outcomes (a market
+                # rejection or simulated crash escaped a coroutine);
+                # nothing completed under this token that we could record.
+                continue
+            outcomes = [outcome for outcome, _ in results]
+            table_store = store.table(entry.table)
+            statistics = self.context.catalog.statistics(entry.table)
+            purchases_logged = False
+            with table_store.lock:
+                for remainder, outcome in zip(
+                    entry.rewrite.remainder, outcomes
+                ):
+                    if isinstance(outcome, (FailedFetch, CoveredSkip)):
+                        continue
+                    response = outcome.response
+                    store.record(entry.table, remainder.box, response.rows)
+                    statistics.histogram.observe(
+                        remainder.box, response.record_count
+                    )
+                    if durability is not None:
+                        durability.log_purchase(
+                            table=entry.table,
+                            box=remainder.box,
+                            rows=response.rows,
+                            count=response.record_count,
+                            stored_at=store.clock,
+                            url=response.request.url(),
+                            key=outcome.idempotency_key,
+                            transactions=outcome.billed_transactions,
+                            price=outcome.billed_price,
+                            coalesced=outcome.coalesced,
+                            saved_transactions=outcome.saved_transactions,
+                            saved_price=outcome.saved_price,
+                        )
+                        purchases_logged = True
+                if purchases_logged:
+                    durability.commit()
+                if coalescer is not None:
+                    for flight in lead_flights:
+                        coalescer.release(flight)
+            billed = ledger.entries_for_token(entry.token, entry.checkpoint)
+            spent = sum(
+                e.price for e in billed if not ledger.is_wasted(e)
+            )
+            if spent:
+                metrics.counter("prefetch_wasted_dollars").inc(spent)
 
     # --------------------------------------------- adaptive re-optimization
 
@@ -625,47 +826,68 @@ class Executor:
         """Rewrite, buy the remainder, record feedback, return region rows."""
         tracer = self.context.tracer
         if not tracer.enabled:
-            return self._fetch_market_inner(table, extra_constraints, None)
+            return self._fetch_market_inner(table, extra_constraints, None, source)
         with tracer.span("table_fetch", table=table, source=source) as span:
-            return self._fetch_market_inner(table, extra_constraints, span)
+            return self._fetch_market_inner(table, extra_constraints, span, source)
 
     def _fetch_market_inner(
         self,
         table: str,
         extra_constraints: tuple[AttributeConstraint, ...],
         span,
+        source: str = "access",
     ) -> Relation:
         constraints = list(self._query.constraints_for(table)) + list(
             extra_constraints
         )
         store = self.context.store
         table_store = store.table(table)
-        # Rewrite under the table lock: the rewrite decides what money to
-        # spend, so it must reflect the store *now*, and under concurrent
-        # serving other sessions record into this table at any moment.
-        # Holding the lock pins the epoch across rewrite + check, so the
-        # staleness guard below can only trip if a stale-caching bug is
-        # reintroduced somewhere upstream (the rewriter memo keys on the
-        # epoch).
-        with table_store.lock:
-            rewrite = self.context.rewriter.rewrite(
-                table, constraints, self.context.tuples_per_transaction(table)
-            )
-            current_epoch = table_store.epoch
-            if rewrite.store_epoch != current_epoch:
-                raise ExecutionError(
-                    f"stale rewrite for {table!r}: computed at store epoch "
-                    f"{rewrite.store_epoch}, executing at {current_epoch}"
-                )
-        dataset = self.context.dataset_of(table)
-        statistics = self.context.catalog.statistics(table)
         ledger = self.context.market.ledger
-        self._access_seq += 1
-        access_token = f"{self._query_token}:a{self._access_seq}"
-        checkpoint = ledger.checkpoint()
-        outcomes, lead_flights = self._issue_market_calls(
-            dataset, table, rewrite.remainder, access_token, span
-        )
+        entry = None
+        if source == "access" and not extra_constraints and self._prefetched:
+            entry = self._prefetched.pop(table.lower(), None)
+        if entry is not None:
+            # The access was prefetched at query start: its rewrite, token
+            # and checkpoint were claimed then, and its remainder calls
+            # have been in flight while earlier accesses (and their joins)
+            # executed.  Everything below the issue step is identical.
+            rewrite = entry.rewrite
+            access_token = entry.token
+            checkpoint = entry.checkpoint
+            outcomes, lead_flights = self._collect_async_calls(
+                entry.future, span
+            )
+            self._prefetch_hits += 1
+            self.context.metrics.counter("prefetch_hits").inc()
+        else:
+            # Rewrite under the table lock: the rewrite decides what money
+            # to spend, so it must reflect the store *now*, and under
+            # concurrent serving other sessions record into this table at
+            # any moment.  Holding the lock pins the epoch across rewrite
+            # + check, so the staleness guard below can only trip if a
+            # stale-caching bug is reintroduced somewhere upstream (the
+            # rewriter memo keys on the epoch).
+            with table_store.lock:
+                rewrite = self.context.rewriter.rewrite(
+                    table,
+                    constraints,
+                    self.context.tuples_per_transaction(table),
+                )
+                current_epoch = table_store.epoch
+                if rewrite.store_epoch != current_epoch:
+                    raise ExecutionError(
+                        f"stale rewrite for {table!r}: computed at store "
+                        f"epoch {rewrite.store_epoch}, executing at "
+                        f"{current_epoch}"
+                    )
+            dataset = self.context.dataset_of(table)
+            self._access_seq += 1
+            access_token = f"{self._query_token}:a{self._access_seq}"
+            checkpoint = ledger.checkpoint()
+            outcomes, lead_flights = self._issue_market_calls(
+                dataset, table, rewrite.remainder, access_token, span
+            )
+        statistics = self.context.catalog.statistics(table)
         # Record serially in remainder order: store coverage, histogram
         # feedback, and billing totals end up identical to serial fetch.
         # Only *completed* fetches are recorded — a failed box must never
@@ -821,6 +1043,13 @@ class Executor:
         pool drains, so per-fetch timing and attempt counts are recorded
         identically regardless of thread scheduling.
         """
+        if self._aio is not None:
+            return self._collect_async_calls(
+                self._submit_async_calls(
+                    dataset, table, remainders, access_token
+                ),
+                parent_span,
+            )
         transport = self.context.transport
         ledger = self.context.market.ledger
         scope = self._scope
@@ -887,10 +1116,15 @@ class Executor:
 
         limit = self.max_concurrent_calls
         if limit > 1 and len(requests) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(limit, len(requests))
-            ) as pool:
-                results = list(pool.map(issue, enumerate(requests)))
+            # One long-lived pool per executor, shared by every table
+            # access of the query: the historical per-access pool paid
+            # thread startup (and its scheduling jitter) on each access.
+            pool = self._call_pool
+            if pool is None:
+                pool = self._call_pool = ThreadPoolExecutor(
+                    max_workers=limit, thread_name_prefix="fetch"
+                )
+            results = list(pool.map(issue, enumerate(requests)))
         else:
             results = [
                 issue(item) for item in enumerate(requests)
@@ -911,6 +1145,176 @@ class Executor:
         self._serial_ms += sum(durations)
         self._critical_path_ms += _makespan(durations, limit)
         return outcomes, lead_flights
+
+    def _submit_async_calls(
+        self, dataset, table, remainders, access_token
+    ):
+        """Pipeline one access's remainder GETs onto the event loop.
+
+        The async twin of the threaded issue path: every remainder call
+        becomes a coroutine driving the shared fetch machine against the
+        per-seller connection pool, with the pool's semaphore as the only
+        in-flight cap.  Returns a ``concurrent.futures.Future`` resolving
+        to ``(results, lead_flights)`` where results are
+        ``(outcome, detached_span)`` pairs in request order — the caller
+        (either the consuming table access or the failure drain) blocks on
+        it when it actually needs the data.
+
+        Attribution tokens are applied around each physical call by
+        :meth:`AsyncMarketTransport.fetch` (thread-local, never across an
+        ``await``); in-flight counters are plain ints because every
+        coroutine of an installation runs on the one loop thread.
+        """
+        aio = self._aio
+        scope = self._scope
+        tracer = self.context.tracer
+        tracing = tracer.enabled
+        metrics = self.context.metrics
+        coalescer = self.context.coalescer
+        table_store = (
+            self.context.store.table(table) if coalescer is not None else None
+        )
+        requests = [
+            RestRequest(dataset, table, remainder.constraints)
+            for remainder in remainders
+        ]
+        if requests:
+            metrics.histogram("fetch_batch_size").observe(len(requests))
+        high_water = metrics.gauge("fetch_pool_high_water")
+        state = {"in_flight": 0}
+        lead_flights: list = []
+
+        async def issue(index: int, request: RestRequest):
+            state["in_flight"] += 1
+            high_water.set_max(state["in_flight"])
+            call_span = (
+                tracer.detached_span("market_call", url=request.url())
+                if tracing
+                else None
+            )
+            try:
+                try:
+                    if coalescer is None:
+                        outcome = await aio.fetch(request, scope, access_token)
+                    else:
+                        outcome = await self._coalesced_fetch_async(
+                            coalescer,
+                            table_store,
+                            remainders[index].box,
+                            request,
+                            access_token,
+                            lead_flights,
+                        )
+                except TransportError as error:
+                    outcome = FailedFetch(
+                        table=table, request=request, error=error
+                    )
+            finally:
+                state["in_flight"] -= 1
+            if call_span is not None:
+                self._finish_call_span(call_span, outcome)
+            return outcome, call_span
+
+        async def issue_all():
+            results = await asyncio.gather(
+                *(issue(index, request)
+                  for index, request in enumerate(requests))
+            )
+            return list(results), lead_flights
+
+        return aio.submit(issue_all())
+
+    def _collect_async_calls(self, future, parent_span) -> tuple[list, list]:
+        """Block on one access's pipelined calls and account for them.
+
+        Mirrors the threaded path's post-drain bookkeeping: detached call
+        spans are adopted into the access's ``table_fetch`` span in
+        request order, and the simulated makespan is charged under the
+        async in-flight cap (the per-seller pool size) with connection
+        reuse already reflected in the per-call durations.
+        """
+        results, lead_flights = future.result()
+        outcomes = [outcome for outcome, _ in results]
+        if parent_span is not None:
+            for _, call_span in results:
+                if call_span is not None:
+                    parent_span.adopt(call_span)
+        durations = [
+            outcome.error.elapsed_ms
+            if isinstance(outcome, FailedFetch)
+            else 0.0
+            if isinstance(outcome, CoveredSkip)
+            else outcome.elapsed_ms
+            for outcome in outcomes
+        ]
+        self._serial_ms += sum(durations)
+        self._critical_path_ms += _makespan(durations, self._aio.pool_size)
+        return outcomes, lead_flights
+
+    async def _coalesced_fetch_async(
+        self,
+        coalescer,
+        table_store,
+        box,
+        request: RestRequest,
+        access_token: str,
+        lead_flights: list,
+    ):
+        """Async twin of :meth:`_coalesced_fetch` — same serving
+        invariant, same leader/follower protocol, same accounting.
+
+        Followers park the flight's *threading* Event on the default
+        executor so the loop keeps running while they wait; leaders abort
+        (deregistering before any waiter wakes) on failure exactly as the
+        threaded path does.  ``lead_flights`` mutates loop-thread-only.
+        """
+        scope = self._scope
+        metrics = self.context.metrics
+        ledger = self.context.market.ledger
+        store = self.context.store
+        loop = asyncio.get_running_loop()
+        key = request.url()
+        while True:
+            with table_store.lock:
+                if table_store.is_covered(box, store.policy, store.clock):
+                    scope.note_covered_skip()
+                    return CoveredSkip(request=request)
+                flight, leader = coalescer.begin(key)
+            if leader:
+                try:
+                    result = await self._aio.fetch(
+                        request, scope, access_token
+                    )
+                except BaseException as error:
+                    # Deregister BEFORE waiters wake: no waiter may ever be
+                    # served rows from a fetch the market did not bill.
+                    coalescer.abort(flight, error)
+                    raise
+                coalescer.complete(flight, result)
+                lead_flights.append(flight)
+                return result
+            waited = time.perf_counter()
+            await loop.run_in_executor(None, flight.wait)
+            wait_ms = (time.perf_counter() - waited) * 1000.0
+            if flight.failed:
+                continue
+            shared = flight.result
+            response = shared.response
+            scope.note_coalesced(response.transactions, response.price, wait_ms)
+            ledger.note_coalesced_savings(response.transactions, response.price)
+            metrics.counter("fetch_coalesced").inc()
+            metrics.histogram("fetch_coalesce_wait_us").observe(
+                wait_ms * 1000.0
+            )
+            metrics.counter("dollars_saved_coalescing").inc(response.price)
+            return FetchResult(
+                response=response,
+                attempts=1,
+                elapsed_ms=shared.elapsed_ms,
+                coalesced=True,
+                saved_transactions=response.transactions,
+                saved_price=response.price,
+            )
 
     def _coalesced_fetch(
         self,

@@ -31,17 +31,32 @@ class LatencyModel:
     #: singleflight wait coalescing are only measurable when calls block
     #: for real (``benchmarks/bench_concurrency.py``).
     realtime_scale: float = 0.0
+    #: Connection establishment cost (TCP + TLS + auth handshake).  The
+    #: threaded transport opens a fresh connection per physical call and
+    #: pays this every time; the async transport's per-seller pools pay it
+    #: once per pooled connection and reuse the connection afterwards
+    #: (:mod:`repro.market.aio`).  Charged *client-side* by the transport
+    #: driver — it never enters the server's billing ledger, so the two
+    #: transports stay ledger-byte-identical.  Default 0 keeps every
+    #: existing number and golden unchanged.
+    connection_setup_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.round_trip_ms < 0 or self.per_transaction_ms < 0:
             raise MarketError("latency components cannot be negative")
         if self.realtime_scale < 0:
             raise MarketError("realtime_scale cannot be negative")
+        if self.connection_setup_ms < 0:
+            raise MarketError("connection_setup_ms cannot be negative")
 
     @property
     def is_instant(self) -> bool:
         """Whether every call is modelled as taking zero wall-clock."""
-        return self.round_trip_ms == 0.0 and self.per_transaction_ms == 0.0
+        return (
+            self.round_trip_ms == 0.0
+            and self.per_transaction_ms == 0.0
+            and self.connection_setup_ms == 0.0
+        )
 
     def call_ms(self, transactions: int) -> float:
         """Simulated wall-clock of one call returning ``transactions`` pages."""

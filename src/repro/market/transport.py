@@ -38,6 +38,7 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.durable.wal import SimulatedCrash
@@ -414,26 +415,93 @@ class MarketTransport:
         """
         if scope is None:
             scope = self.new_scope()
-        faults = self.faults
-        durability = self.durability
-        if faults is None:
+        if self.faults is None and self.durability is None:
             # Fast path: no injection, one attempt, no key.  Keeps the
             # fault-free overhead at one attribute check and stays
             # compatible with tests that monkeypatch ``market.get``.
             # The simulated clock is not advanced: it exists only to time
             # breaker cooldowns, and breakers never trip without faults.
+            latency = self.market.latency
+            setup_ms = latency.connection_setup_ms
+            if setup_ms and latency.realtime_scale:
+                time.sleep(setup_ms * latency.realtime_scale / 1000.0)
+            response = self.market.get(request)
+            return FetchResult(
+                response=response,
+                attempts=1,
+                elapsed_ms=response.elapsed_ms + setup_ms,
+                billed_transactions=response.transactions,
+                billed_price=response.price,
+            )
+        return self._drive(request, self._fetch_machine(request, scope))
+
+    def _drive(self, request: RestRequest, machine) -> FetchResult:
+        """Drive the sans-IO fetch machine with blocking calls.
+
+        This is the *threaded* transport driver: every physical call opens
+        a fresh connection (paying ``connection_setup_ms`` each time) and
+        the market's realtime sleep blocks the calling thread.  The async
+        driver in :mod:`repro.market.aio` replays the exact same machine
+        against pooled connections and cooperative sleeps.
+        """
+        latency = self.market.latency
+        setup_ms = latency.connection_setup_ms
+        scale = latency.realtime_scale
+        try:
+            effect = machine.send(None)
+            while True:
+                __, key, __expect_replay = effect
+                try:
+                    if setup_ms and scale:
+                        time.sleep(setup_ms * scale / 1000.0)
+                    if key is not None:
+                        response = self.market.get(
+                            request, idempotency_key=key
+                        )
+                    else:
+                        response = self.market.get(request)
+                except BaseException as error:
+                    effect = machine.throw(error)
+                else:
+                    effect = machine.send((response, setup_ms))
+        except StopIteration as stop:
+            return stop.value
+
+    def _fetch_machine(self, request: RestRequest, scope: QueryScope):
+        """The transport's entire billing/retry logic as a sans-IO generator.
+
+        Yields ``("call", idempotency_key_or_None, expect_replay)`` each
+        time a physical ``market.get`` must happen; the driver performs it
+        and replies ``machine.send((response, connect_ms))`` — where
+        ``connect_ms`` is the connection-setup latency this particular
+        physical call paid (a fresh handshake, or ``0.0`` when a pooled
+        connection was reused) — or ``machine.throw(error)`` with whatever
+        the call raised.  The :class:`FetchResult` comes back as the
+        generator's return value (``StopIteration.value``).
+
+        ``expect_replay`` tells the driver, *before* the call, whether the
+        server will answer from its idempotency cache (an earlier attempt
+        already billed this key): replays are instant, so a realtime
+        driver must not sleep for them.  Because both transports replay
+        this one machine, retries, idempotency keys, fault draws, waste
+        accounting, and durable-intent resolution cannot diverge between
+        them.
+        """
+        faults = self.faults
+        durability = self.durability
+        if faults is None:
             if durability is None:
-                response = self.market.get(request)
+                response, connect_ms = yield ("call", None, False)
                 return FetchResult(
                     response=response,
                     attempts=1,
-                    elapsed_ms=response.elapsed_ms,
+                    elapsed_ms=response.elapsed_ms + connect_ms,
                     billed_transactions=response.transactions,
                     billed_price=response.price,
                 )
             key = durability.begin_intent(request)
             try:
-                response = self.market.get(request, idempotency_key=key)
+                response, connect_ms = yield ("call", key, False)
             except SimulatedCrash:
                 raise
             except BaseException:
@@ -445,7 +513,7 @@ class MarketTransport:
             return FetchResult(
                 response=response,
                 attempts=1,
-                elapsed_ms=response.elapsed_ms,
+                elapsed_ms=response.elapsed_ms + connect_ms,
                 billed_transactions=response.transactions,
                 billed_price=response.price,
                 idempotency_key=key,
@@ -520,13 +588,8 @@ class MarketTransport:
                         # The request reaches the server: it executes and
                         # bills (or replays a previously billed key for
                         # free).
-                        if key is not None:
-                            response = self.market.get(
-                                request, idempotency_key=key
-                            )
-                        else:
-                            response = self.market.get(request)
                         replayed = key is not None and billed is not None
+                        response, connect_ms = yield ("call", key, replayed)
                         if replayed:
                             scope.note_replay()
                         else:
@@ -536,11 +599,14 @@ class MarketTransport:
                             latency.call_ms(0)
                             if replayed
                             else response.elapsed_ms
-                        )
+                        ) + connect_ms
                         if kind is FaultKind.DROPPED_RESPONSE:
                             if key is not None:
                                 billed = billed if replayed else response
-                            wait = faults.timeout_ms
+                            # The handshake succeeded (the request reached
+                            # the server) but the answer never came back:
+                            # the client burned setup + its timeout.
+                            wait = faults.timeout_ms + connect_ms
                             elapsed_ms += wait
                             self.advance_clock(wait)
                             raise faults.fault_for(kind, call_key)
@@ -551,13 +617,15 @@ class MarketTransport:
                             # With a key the second execution replays for
                             # free; the naive client pays all over again.
                             if key is not None:
-                                self.market.get(request, idempotency_key=key)
+                                __, dup_connect = yield ("call", key, True)
                                 scope.note_replay()
                             else:
-                                duplicate = self.market.get(request)
+                                duplicate, dup_connect = yield (
+                                    "call", None, False
+                                )
                                 billed_transactions += duplicate.transactions
                                 billed_price += duplicate.price
-                            dup_ms = latency.call_ms(0)
+                            dup_ms = latency.call_ms(0) + dup_connect
                             elapsed_ms += dup_ms
                             self.advance_clock(dup_ms)
                         breaker.on_success()

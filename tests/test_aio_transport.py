@@ -1,0 +1,321 @@
+"""The async pipelined transport: parity, pools, prefetch, lifecycle.
+
+The contract of :mod:`repro.market.aio` is that switching
+``QueryOptions(transport_mode="async")`` changes *when* market calls
+happen, never *what they cost*: both drivers replay the same sans-IO
+fetch machine, so idempotency keys, fault draws, retries and billing are
+identical by construction.  These tests assert that contract from the
+outside:
+
+* **canonical ledger parity** — the same workload billed through either
+  driver produces the same multiset of billed calls (URL, rows,
+  transactions, price, server-side latency, waste classification, and
+  the *grouping* of entries into attribution tokens), calm and under
+  injected chaos.  Raw tokens and idempotency keys are installation-
+  scoped (they embed a transport id and a global query sequence), so the
+  comparison canonicalizes them to ordinals first.
+* **connection-setup semantics** — ``LatencyModel.connection_setup_ms``
+  is charged per physical call by the threaded driver but once per
+  pooled connection by the async driver; the saved milliseconds equal
+  ``setup_ms x connections_reused`` exactly, while dollars are
+  untouched.
+* **conservative prefetch** — a query that fails after its prefetches
+  were issued still records every completed purchase in the semantic
+  store (counted in ``prefetch_wasted_dollars``), so a retry pays only
+  for what was never bought: two-run total == clean-run total.
+* **lifecycle** — ``close`` is idempotent and a later query transparently
+  restarts the loop with fresh pools.
+"""
+
+import pytest
+
+from repro.core.objectives import QueryOptions
+from repro.errors import PlanningError
+from repro.market.aio import AsyncMarketTransport
+from repro.market.faults import FaultPolicy
+from repro.market.latency import LatencyModel
+from repro.market.transport import TransportConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.testing import (
+    oracle_evaluate,
+    registered_payless,
+    tiny_weather_market,
+)
+
+JOIN_SQL = (
+    "SELECT s.City, w.Temperature FROM Station s, Weather w "
+    "WHERE s.Country = w.Country AND s.StationID = w.StationID "
+    "AND w.Date >= 1 AND w.Date <= 5"
+)
+WEATHER_SQL = (
+    "SELECT Country, StationID, Date, Temperature FROM Weather "
+    "WHERE Country = 'CountryA' AND Date >= ? AND Date <= ?"
+)
+
+
+def _payless(transport_mode, transport=None, **option_kwargs):
+    market = tiny_weather_market(days=10, tuples_per_transaction=5)
+    payless = registered_payless(
+        market,
+        metrics=MetricsRegistry(),
+        transport=transport,
+        options=QueryOptions(transport_mode=transport_mode, **option_kwargs),
+    )
+    return payless
+
+
+def _canonical_ledger(ledger):
+    """The ledger as a transport-independent value.
+
+    Sorts entries canonically and maps attribution tokens and
+    idempotency keys to first-appearance ordinals: two runs then compare
+    equal iff they billed the same calls for the same money with the
+    same waste classification and the same token *grouping* — regardless
+    of raw token text (which embeds per-installation counters).
+    """
+    entries = sorted(
+        ledger,
+        key=lambda e: (
+            e.request.url(),
+            e.transactions,
+            e.price,
+            e.idempotency_key or "",
+        ),
+    )
+    tokens, keys = {}, {}
+    canon = []
+    for entry in entries:
+        token = entry.fetch_token
+        if token is not None:
+            token = tokens.setdefault(token, len(tokens))
+        key = entry.idempotency_key
+        if key is not None:
+            key = keys.setdefault(key, len(keys))
+        canon.append(
+            (
+                entry.request.url(),
+                entry.record_count,
+                entry.transactions,
+                entry.price,
+                entry.elapsed_ms,
+                ledger.is_wasted(entry),
+                token,
+                key,
+            )
+        )
+    return canon
+
+
+def _replay(transport_mode, transport=None):
+    """A small mixed session: join, repeat (free), two range windows."""
+    payless = _payless(transport_mode, transport=transport)
+    try:
+        results = [
+            payless.query(JOIN_SQL),
+            payless.query(JOIN_SQL),
+            payless.query(WEATHER_SQL, (1, 6)),
+            payless.query(WEATHER_SQL, (4, 9)),
+        ]
+        return _canonical_ledger(payless.market.ledger), results
+    finally:
+        payless.close()
+
+
+class TestLedgerParity:
+    def test_calm_ledgers_identical(self):
+        threaded, threaded_results = _replay("threaded")
+        awaited, async_results = _replay("async")
+        assert awaited == threaded
+        for a, b in zip(threaded_results, async_results):
+            assert sorted(a.rows, key=repr) == sorted(b.rows, key=repr)
+            assert a.stats.price == b.stats.price
+
+    @pytest.mark.parametrize("seed", [7, 23, 101])
+    def test_chaos_ledgers_identical(self, seed):
+        def chaotic():
+            return TransportConfig(
+                faults=FaultPolicy.uniform(seed=seed, rate=0.35),
+                max_retries=5,
+            )
+
+        threaded, __ = _replay("threaded", transport=chaotic())
+        awaited, __ = _replay("async", transport=chaotic())
+        assert awaited == threaded
+
+    def test_stats_report_the_driver(self):
+        payless = _payless("async")
+        try:
+            stats = payless.query(JOIN_SQL).stats
+            assert stats.transport_mode == "async"
+        finally:
+            payless.close()
+        payless = _payless("threaded")
+        try:
+            stats = payless.query(JOIN_SQL).stats
+            assert stats.transport_mode == "threaded"
+            assert stats.prefetch_hits == 0
+        finally:
+            payless.close()
+
+
+class TestConnectionSetup:
+    def _run(self, transport_mode):
+        payless = _payless(transport_mode)
+        market = payless.market
+        try:
+            # Warm a middle window so the second query's remainder splits
+            # into two physical calls against the same seller.
+            payless.query(WEATHER_SQL, (4, 5))
+            market.latency = LatencyModel(
+                round_trip_ms=10.0,
+                per_transaction_ms=1.0,
+                connection_setup_ms=100.0,
+            )
+            stats = payless.query(WEATHER_SQL, (1, 10)).stats
+            reused = payless.metrics.snapshot().get(
+                "connections_reused", 0.0
+            )
+            return stats, reused
+        finally:
+            payless.close()
+
+    def test_setup_charged_per_connection_not_per_call(self):
+        threaded, threaded_reused = self._run("threaded")
+        awaited, async_reused = self._run("async")
+        assert threaded.calls == awaited.calls == 2
+        assert threaded.price == awaited.price  # dollars never move
+        assert threaded_reused == 0.0
+        assert async_reused == 2.0  # warm call pooled the connection
+        # The threaded driver paid the handshake on both calls; the async
+        # driver paid it on neither — the gap is exactly setup x reuses.
+        assert threaded.market_time_ms - awaited.market_time_ms == (
+            pytest.approx(100.0 * async_reused)
+        )
+        assert (
+            awaited.market_time_critical_path_ms
+            < threaded.market_time_critical_path_ms
+        )
+
+    def test_negative_setup_rejected(self):
+        from repro.errors import MarketError
+
+        with pytest.raises(MarketError):
+            LatencyModel(connection_setup_ms=-1.0)
+
+    def test_setup_participates_in_is_instant(self):
+        instant = LatencyModel(round_trip_ms=0.0, per_transaction_ms=0.0)
+        assert instant.is_instant
+        assert not LatencyModel(
+            round_trip_ms=0.0,
+            per_transaction_ms=0.0,
+            connection_setup_ms=5.0,
+        ).is_instant
+
+
+class TestPrefetch:
+    def test_prefetch_consumed_and_free_of_waste(self):
+        payless = _payless("async", use_theorems=False)
+        try:
+            result = payless.query(JOIN_SQL)
+            assert result.stats.prefetch_hits == 2  # both accesses
+            snapshot = payless.metrics.snapshot()
+            assert snapshot.get("prefetch_hits") == 2.0
+            assert snapshot.get("prefetch_wasted_dollars", 0.0) == 0.0
+            want = sorted(
+                oracle_evaluate(payless, JOIN_SQL).rows, key=repr
+            )
+            assert sorted(result.rows, key=repr) == want
+        finally:
+            payless.close()
+
+    def test_failed_query_drains_prefetched_purchases(self):
+        clean = _payless("async", use_theorems=False)
+        try:
+            clean.query(JOIN_SQL)
+            clean_total = clean.market.ledger.total_price
+        finally:
+            clean.close()
+
+        payless = _payless("async", use_theorems=False)
+        market = payless.market
+        original = market.get
+
+        def failing(request, **kwargs):
+            # Station is the plan's first access: its prefetch surfaces
+            # the outage while Weather's prefetched purchase completes
+            # and must be drained, not dropped.
+            if request.table.lower() == "station":
+                raise RuntimeError("injected seller outage")
+            return original(request, **kwargs)
+
+        market.get = failing
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                payless.query(JOIN_SQL)
+            snapshot = payless.metrics.snapshot()
+            # Weather's speculative purchase is accounted as waste...
+            assert snapshot.get("prefetch_wasted_dollars", 0.0) > 0.0
+            assert payless.market.ledger.total_price > 0.0
+            # ...but recorded in the store, so the retry pays only for
+            # what was never bought: two runs cost one clean run.
+            market.get = original
+            retry = payless.query(JOIN_SQL)
+            assert payless.market.ledger.total_price == clean_total
+            want = sorted(
+                oracle_evaluate(payless, JOIN_SQL).rows, key=repr
+            )
+            assert sorted(retry.rows, key=repr) == want
+        finally:
+            market.get = original
+            payless.close()
+
+    def test_prefetch_can_be_disabled(self):
+        payless = _payless("async", prefetch=False)
+        try:
+            result = payless.query(JOIN_SQL)
+            assert result.stats.prefetch_hits == 0
+            assert (
+                payless.metrics.snapshot().get("prefetch_hits", 0.0) == 0.0
+            )
+        finally:
+            payless.close()
+
+
+class TestLifecycleAndValidation:
+    def test_close_is_idempotent_and_restartable(self):
+        payless = _payless("async")
+        try:
+            first = payless.query(WEATHER_SQL, (1, 3))
+            aio = payless.context.async_transport
+            aio.close()
+            aio.close()  # idempotent
+            # A query after close lazily restarts the loop (fresh pools).
+            second = payless.query(WEATHER_SQL, (4, 6))
+            assert first.stats.complete and second.stats.complete
+        finally:
+            payless.close()
+            payless.close()
+
+    def test_transport_mode_validated(self):
+        with pytest.raises(PlanningError):
+            QueryOptions(transport_mode="carrier-pigeon")
+        with pytest.raises(PlanningError):
+            QueryOptions(async_pool_size=0)
+
+    def test_pool_size_validated(self):
+        payless = _payless("threaded")
+        try:
+            with pytest.raises(ValueError):
+                AsyncMarketTransport(
+                    payless.context.transport, pool_size=0
+                )
+        finally:
+            payless.close()
+
+    def test_threaded_stays_the_default(self):
+        assert QueryOptions().transport_mode == "threaded"
+        payless = _payless("threaded")
+        try:
+            assert payless.context.async_transport is None
+        finally:
+            payless.close()

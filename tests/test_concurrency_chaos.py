@@ -24,6 +24,7 @@ surface).
 
 import pytest
 
+from repro.core.objectives import QueryOptions
 from repro.core.payless import PayLess
 from repro.market.faults import FaultPolicy
 from repro.market.server import DataMarket
@@ -55,7 +56,10 @@ DATA = generate_weather_workload(
 SESSIONS = 4
 
 
-def _fresh_payless(transport: TransportConfig | None = None) -> PayLess:
+def _fresh_payless(
+    transport: TransportConfig | None = None,
+    transport_mode: str = "threaded",
+) -> PayLess:
     market = DataMarket()
     for dataset in DATA.datasets:
         market.publish(dataset)
@@ -64,6 +68,7 @@ def _fresh_payless(transport: TransportConfig | None = None) -> PayLess:
         local_db=DATA.local_database(),
         transport=transport,
         metrics=MetricsRegistry(),
+        options=QueryOptions(transport_mode=transport_mode),
     )
     for dataset in DATA.datasets:
         payless.register_dataset(dataset.name)
@@ -108,10 +113,11 @@ def _run(
     coalesce: bool,
     transport: TransportConfig | None = None,
     session_max_inflight: int = 2,
+    transport_mode: str = "threaded",
 ):
     """One fresh installation through the scheduler; results in submit
     order (so runs are comparable query-by-query)."""
-    payless = _fresh_payless(transport)
+    payless = _fresh_payless(transport, transport_mode=transport_mode)
     config = ServeConfig(
         workers=workers,
         coalesce=coalesce,
@@ -123,21 +129,25 @@ def _run(
             for session, params in workload
         ]
         results = [ticket.result(timeout=120.0) for ticket in tickets]
+    payless.close()  # stops the async loop when one is attached
     return payless, scheduler, results
 
 
 class TestChaosBillingInvariance:
+    @pytest.mark.parametrize("transport_mode", ["threaded", "async"])
     @pytest.mark.parametrize("seed", [7, 23, 101])
-    def test_faults_do_not_change_the_bill(self, seed):
+    def test_faults_do_not_change_the_bill(self, seed, transport_mode):
         workload = _shared_workload()
         calm_payless, __, calm_results = _run(
-            workload, workers=8, coalesce=True
+            workload, workers=8, coalesce=True,
+            transport_mode=transport_mode,
         )
         faults = FaultPolicy.uniform(seed=seed, rate=0.4)
         assert faults.max_consecutive_faults == 3  # < max_retries below
         chaotic = TransportConfig(faults=faults, max_retries=5)
         chaos_payless, scheduler, chaos_results = _run(
-            workload, workers=8, coalesce=True, transport=chaotic
+            workload, workers=8, coalesce=True, transport=chaotic,
+            transport_mode=transport_mode,
         )
 
         # Chaos actually happened, and every fault was absorbed.
@@ -177,6 +187,11 @@ class TestChaosBillingInvariance:
             chaos_payless.total_price
         )
 
+        # Conservative prefetch: nothing speculatively bought was ever
+        # thrown away, even under chaos.
+        metrics = chaos_payless.metrics.snapshot()
+        assert metrics.get("prefetch_wasted_dollars", 0.0) == 0.0
+
     def test_coalesced_savings_ledger_consistent(self):
         """Whatever was coalesced is accounted once, on both sides: the
         sessions' attributed savings equal the ledger's savings bucket."""
@@ -197,13 +212,16 @@ class TestChaosBillingInvariance:
 
 
 class TestDeterminismAcrossWorkers:
-    def test_workers_1_and_8_agree_exactly(self):
+    @pytest.mark.parametrize("transport_mode", ["threaded", "async"])
+    def test_workers_1_and_8_agree_exactly(self, transport_mode):
         workload = _disjoint_workload()
         serial_payless, __, serial_results = _run(
-            workload, workers=1, coalesce=False, session_max_inflight=1
+            workload, workers=1, coalesce=False, session_max_inflight=1,
+            transport_mode=transport_mode,
         )
         parallel_payless, __, parallel_results = _run(
-            workload, workers=8, coalesce=False, session_max_inflight=1
+            workload, workers=8, coalesce=False, session_max_inflight=1,
+            transport_mode=transport_mode,
         )
         assert len(serial_results) == len(parallel_results)
         for serial, parallel in zip(serial_results, parallel_results):
